@@ -1,0 +1,109 @@
+"""Benches for the extension features beyond the paper's evaluation:
+the cellular multi-chip fabric, the target applications, off-chip DMA,
+and fault-tolerant operation."""
+
+import pytest
+
+from repro.config import ChipConfig
+from repro.core.chip import Chip
+from repro.core.faults import FaultController
+from repro.system.halo import HaloParams, run_halo
+from repro.workloads.dgemm import DgemmParams, run_dgemm
+from repro.workloads.md import MDParams, run_md
+from repro.workloads.raytrace import RayTraceParams, run_raytrace
+from repro.workloads.stream import StreamParams, run_stream
+
+
+@pytest.mark.figure("extension")
+def test_multichip_weak_scaling(benchmark):
+    """A chain of cells halo-exchanging must weak-scale."""
+    def sweep():
+        return {chips: run_halo(HaloParams(
+            n_chips=chips, band_elements=256, iterations=2,
+            threads_per_chip=8,
+        )) for chips in (1, 2, 4)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\ncells -> cycles:",
+          {c: r.cycles for c, r in results.items()})
+    assert all(r.verified for r in results.values())
+    assert results[4].cycles < results[1].cycles * 1.5
+
+
+@pytest.mark.figure("extension")
+def test_target_applications_scale(benchmark):
+    """MD / raytrace / DGEMM all speed up from 1 to 16 threads."""
+    def run_all():
+        out = {}
+        for name, runner in (
+            ("md", lambda p: run_md(
+                MDParams(n_particles=128, n_threads=p, verify=False))),
+            ("raytrace", lambda p: run_raytrace(
+                RayTraceParams(width=24, height=16, n_threads=p,
+                               verify=False))),
+            ("dgemm", lambda p: run_dgemm(
+                DgemmParams(n=32, block=8, n_threads=p, verify=False))),
+        ):
+            out[name] = (runner(1).cycles, runner(16).cycles)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for name, (serial, parallel) in results.items():
+        speedup = serial / parallel
+        print(f"\n{name}: {speedup:.1f}x at 16 threads")
+        assert speedup > 4.0, name
+
+
+@pytest.mark.figure("extension")
+def test_scratchpad_beats_cache_for_dgemm(benchmark):
+    def both():
+        cached = run_dgemm(DgemmParams(n=32, block=8, n_threads=8,
+                                       use_scratchpad=False))
+        staged = run_dgemm(DgemmParams(n=32, block=8, n_threads=8,
+                                       use_scratchpad=True))
+        return cached.cycles, staged.cycles
+
+    cached, staged = benchmark.pedantic(both, rounds=1, iterations=1)
+    print(f"\ncache path {cached} vs scratchpad {staged} cycles")
+    assert staged < cached
+
+
+@pytest.mark.figure("extension")
+def test_degraded_chip_still_streams(benchmark):
+    """Bank + thread + FPU failures: STREAM still verifies and performs."""
+    def run():
+        chip = Chip(ChipConfig.paper())
+        faults = FaultController(chip)
+        faults.fail_bank(0)
+        faults.fail_fpu(3)
+        faults.fail_thread(40)
+        result = run_stream(StreamParams(
+            kernel="triad", n_elements=32 * 400, n_threads=32,
+        ), chip=chip)
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ndegraded triad: {result.bandwidth_gb_s:.1f} GB/s")
+    assert result.verified
+    assert result.bandwidth_gb_s > 3.0
+
+
+@pytest.mark.figure("extension")
+def test_offchip_staging(benchmark):
+    """Out-of-core staging: DMA in, compute, DMA out."""
+    def run():
+        chip = Chip(ChipConfig.paper())
+        memory = chip.memory
+        blocks = 64  # 64 KB
+        memory.offchip.poke(0, bytes(range(256)) * 256)
+        t = memory.offchip.read_in(0, 0, 0x100000, blocks, memory.backing,
+                                   memory.banks, memory.address_map)
+        t_out = memory.offchip.write_out(t, 0x100000, 1024 * 1024, blocks,
+                                         memory.backing, memory.banks,
+                                         memory.address_map)
+        return t, t_out, memory.offchip.peek(1024 * 1024, 16)
+
+    t_in, t_out, data = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nDMA in done at {t_in}, out at {t_out}")
+    assert data == bytes(range(16))
+    assert t_out > t_in

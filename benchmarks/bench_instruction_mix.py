@@ -1,0 +1,18 @@
+"""Bench: the instruction-mix extension experiment."""
+
+import pytest
+
+from repro.experiments.instruction_mix import run as run_mix
+
+
+@pytest.mark.figure("extension")
+def test_instruction_mix(benchmark):
+    report = benchmark.pedantic(run_mix, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    print()
+    print(report.render())
+    assert report.measurements["n_workloads"] >= 6
+    table = report.tables[0]
+    # STREAM's mix is memory-heavy; the raytracer's is FP-heavy — the
+    # two poles of the sharing trade-off.
+    assert "STREAM" in table and "Raytrace" in table

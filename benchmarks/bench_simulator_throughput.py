@@ -1,0 +1,50 @@
+"""Bench: the simulator's own throughput (host events per second).
+
+Unlike the figure benches (which measure *simulated* outcomes), these
+measure the *simulator*: how fast the event engine retires architectural
+operations on the host. Useful for tracking performance regressions in
+the engine itself; pytest-benchmark's timing is the product here.
+"""
+
+import pytest
+
+from repro.core.chip import Chip
+from repro.runtime.kernel import AllocationPolicy, Kernel
+from repro.workloads.stream import StreamParams, run_stream
+
+
+@pytest.mark.figure("meta")
+def test_engine_ops_per_second(benchmark):
+    """Sustained simulated-ops/s on a 32-thread memory-bound kernel."""
+    ops_per_run = 32 * 400 * 5  # threads x elements x ops/element approx
+
+    def run():
+        return run_stream(StreamParams(
+            kernel="triad", n_elements=32 * 400, n_threads=32,
+            verify=False, warmup=False,
+        ))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.cycles > 0
+    rate = ops_per_run / benchmark.stats["mean"]
+    print(f"\n~{rate / 1e3:.0f}k simulated ops/s")
+
+
+@pytest.mark.figure("meta")
+def test_barrier_round_throughput(benchmark):
+    """Cost of hardware-barrier rounds at 64 threads."""
+    def run():
+        chip = Chip()
+        kernel = Kernel(chip, AllocationPolicy.BALANCED)
+        barrier = kernel.hardware_barrier(0, 64)
+
+        def body(ctx):
+            for _ in range(20):
+                yield from barrier.wait(ctx)
+
+        for _ in range(64):
+            kernel.spawn(body)
+        return kernel.run()
+
+    cycles = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert cycles > 0

@@ -1,0 +1,27 @@
+"""Shared benchmark configuration.
+
+Every benchmark here regenerates one table or figure of the paper (see
+DESIGN.md section 5 for the index). The simulations are deterministic,
+so a single benchmark round is meaningful; pytest-benchmark still
+reports the wall-clock cost of regenerating each artifact.
+
+Set ``CYCLOPS_BENCH_FULL=1`` to run the paper-scale problem sizes
+instead of the scaled defaults (slower; EXPERIMENTS.md records which
+sizes produced the published numbers).
+"""
+
+import os
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): which paper artifact a benchmark rebuilds"
+    )
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    """True when the user asked for paper-scale problem sizes."""
+    return os.environ.get("CYCLOPS_BENCH_FULL", "") == "1"

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""A Table-1 placement study with the trace explorer.
+
+Answers "where should this data live?" empirically: the same access
+pattern is replayed under every interest-group level and the measured
+latency/locality profile printed — no workload code needed. Also shows
+a pointer-chase (latency-bound) pattern, where spreading data across
+caches hurts even more than for streams.
+
+Run:  python examples/placement_study.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.memory.interest_groups import InterestGroup, Level
+from repro.memory.tracesim import (
+    pointer_chase_trace,
+    replay,
+    retarget,
+    strided_trace,
+)
+
+
+def study(name: str, trace) -> None:
+    print(f"\n{name}:")
+    rows = []
+    for level, index in ((Level.OWN, 0), (Level.ONE, 0), (Level.ONE, 20),
+                         (Level.FOUR, 0), (Level.ALL, 0)):
+        group = InterestGroup(level, index)
+        profile = replay(retarget(trace, group))
+        label = f"{level.name}" + (f"[{index}]" if level is Level.ONE else "")
+        rows.append([
+            label,
+            f"{profile.hit_rate:.0%}",
+            f"{100 * profile.local / profile.accesses:.0f}%",
+            f"{profile.mean_load_latency:.1f}",
+            profile.memory_traffic_bytes,
+        ])
+    print(format_table(
+        ["interest group", "hit rate", "local", "cycles/access",
+         "memory bytes"],
+        rows,
+    ))
+
+
+def main() -> None:
+    print("Replaying one access pattern under each placement level")
+    print("(requester is a thread in quad 0; cache 0 is its local one).")
+
+    study("Sequential stream, 4 KB (STREAM-like)",
+          strided_trace(base=0, stride=8, count=512, quad=0))
+
+    # A pseudo-random pointer chase across 64 KB.
+    addresses = [(i * 2654435761) % (64 * 1024) & ~7 for i in range(512)]
+    study("Pointer chase over 64 KB (linked-list-like)",
+          pointer_chase_trace(addresses, quad=0))
+
+    print("\nReading the tables: OWN/ONE[0] keep everything local "
+          "(7-cycle hits); a pinned remote cache (ONE[20]) pays 18; the "
+          "default ALL spreads lines over 32 caches, so ~31/32 of "
+          "accesses are remote — the cost the paper's local-cache STREAM "
+          "optimization removes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Reporting: STREAM bandwidth accounting, speedups, text tables/series."""
+
+from repro.analysis.series import Series
+from repro.analysis.speedup import speedup_curve
+from repro.analysis.stream_report import stream_summary_row
+from repro.analysis.tables import format_table
+
+__all__ = ["Series", "format_table", "speedup_curve", "stream_summary_row"]

@@ -1,0 +1,91 @@
+"""Comparing experiment runs: regression detection for reproductions.
+
+Reproduction results should stay stable as the simulator evolves.
+:func:`compare_measurements` diffs the key-measurement dictionaries of
+two :class:`~repro.experiments.registry.ExperimentReport` runs and
+classifies each metric as unchanged / drifted / regressed against a
+relative tolerance, so CI (or a careful human) can tell an intentional
+model change from an accident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's movement between a baseline and a candidate run."""
+
+    name: str
+    baseline: float
+    candidate: float
+
+    @property
+    def relative(self) -> float:
+        """Relative change; infinity when the baseline is zero."""
+        if self.baseline == 0:
+            return float("inf") if self.candidate else 0.0
+        return (self.candidate - self.baseline) / abs(self.baseline)
+
+
+@dataclass
+class ComparisonReport:
+    """The classified diff of two measurement dictionaries."""
+
+    unchanged: list[MetricDelta]
+    drifted: list[MetricDelta]
+    missing: list[str]
+    added: list[str]
+    tolerance: float
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing drifted and the metric sets match."""
+        return not self.drifted and not self.missing and not self.added
+
+    def render(self) -> str:
+        """Human-readable comparison table."""
+        rows = []
+        for delta in self.drifted:
+            rows.append([delta.name, delta.baseline, delta.candidate,
+                         f"{100 * delta.relative:+.1f}%", "DRIFT"])
+        for delta in self.unchanged:
+            rows.append([delta.name, delta.baseline, delta.candidate,
+                         f"{100 * delta.relative:+.1f}%", "ok"])
+        text = format_table(
+            ["metric", "baseline", "candidate", "delta", "verdict"],
+            rows,
+            title=f"Comparison (tolerance ±{100 * self.tolerance:.0f}%)",
+        )
+        extras = []
+        if self.missing:
+            extras.append(f"missing from candidate: {', '.join(self.missing)}")
+        if self.added:
+            extras.append(f"new in candidate: {', '.join(self.added)}")
+        if extras:
+            text += "\n" + "\n".join(extras)
+        return text
+
+
+def compare_measurements(baseline: dict[str, float],
+                         candidate: dict[str, float],
+                         tolerance: float = 0.10) -> ComparisonReport:
+    """Diff two measurement dictionaries at a relative *tolerance*."""
+    unchanged: list[MetricDelta] = []
+    drifted: list[MetricDelta] = []
+    for name in sorted(set(baseline) & set(candidate)):
+        delta = MetricDelta(name, baseline[name], candidate[name])
+        if abs(delta.relative) <= tolerance:
+            unchanged.append(delta)
+        else:
+            drifted.append(delta)
+    return ComparisonReport(
+        unchanged=unchanged,
+        drifted=drifted,
+        missing=sorted(set(baseline) - set(candidate)),
+        added=sorted(set(candidate) - set(baseline)),
+        tolerance=tolerance,
+    )

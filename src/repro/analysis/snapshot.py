@@ -1,0 +1,96 @@
+"""Chip state snapshots for debugging and regression capture.
+
+:func:`snapshot` serializes the architectural state of a chip into a
+plain dictionary (JSON-safe): per-thread counters, cache occupancy and
+hit statistics, bank traffic, FPU operation counts, barrier SPR
+contents, and fault status. :func:`diff_snapshots` reports what changed
+between two snapshots — handy for pinpointing which structure a change
+in workload code started touching.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.chip import Chip
+
+
+def snapshot(chip: Chip) -> dict[str, Any]:
+    """The chip's observable state as a JSON-safe dictionary."""
+    threads = {}
+    for tu in chip.threads:
+        c = tu.counters
+        if c.instructions or c.run_cycles or c.stall_cycles:
+            threads[str(tu.tid)] = {
+                "issue_time": tu.issue_time,
+                "instructions": c.instructions,
+                "run_cycles": c.run_cycles,
+                "stall_cycles": c.stall_cycles,
+                "flops": c.flops,
+                "loads": c.loads,
+                "stores": c.stores,
+                "barriers": c.barriers,
+            }
+    caches = {}
+    for cache in chip.memory.caches:
+        if cache.accesses or cache.resident_lines:
+            caches[str(cache.cache_id)] = {
+                "resident_lines": cache.resident_lines,
+                "hits": cache.hits + cache.store_hits,
+                "misses": cache.misses + cache.store_misses,
+                "evictions": cache.evictions,
+                "writebacks": cache.writebacks,
+                "scratchpad_ways": cache.scratchpad_ways,
+            }
+    banks = {
+        str(bank.bank_id): {
+            "bytes_read": bank.bytes_read,
+            "bytes_written": bank.bytes_written,
+            "busy_cycles": bank.busy_cycles,
+            "failed": bank.failed,
+        }
+        for bank in chip.memory.banks
+        if bank.bytes_total or bank.failed
+    }
+    fpus = {
+        str(fpu.fpu_id): {"operations": fpu.operations,
+                          "failed": fpu.failed}
+        for fpu in chip.fpus if fpu.operations or fpu.failed
+    }
+    return {
+        "config": {
+            "n_threads": chip.config.n_threads,
+            "n_quads": chip.config.n_quads,
+            "n_banks": chip.config.n_memory_banks,
+        },
+        "threads": threads,
+        "caches": caches,
+        "banks": banks,
+        "fpus": fpus,
+        "spr_or": chip.barrier_spr.read_or(),
+        "max_memory": chip.memory.address_map.max_memory,
+        "access_kinds": {k.value: v
+                         for k, v in chip.memory.kind_counts.items() if v},
+    }
+
+
+def to_json(chip: Chip, indent: int = 2) -> str:
+    """The snapshot as a JSON string."""
+    return json.dumps(snapshot(chip), indent=indent, sort_keys=True)
+
+
+def diff_snapshots(before: dict[str, Any],
+                   after: dict[str, Any], prefix: str = "") -> list[str]:
+    """Human-readable differences between two snapshots."""
+    changes: list[str] = []
+    keys = sorted(set(before) | set(after))
+    for key in keys:
+        path = f"{prefix}.{key}" if prefix else str(key)
+        old = before.get(key)
+        new = after.get(key)
+        if isinstance(old, dict) and isinstance(new, dict):
+            changes.extend(diff_snapshots(old, new, path))
+        elif old != new:
+            changes.append(f"{path}: {old!r} -> {new!r}")
+    return changes

@@ -1,0 +1,29 @@
+"""Parallel speedup computation (Figure 3's metric)."""
+
+from __future__ import annotations
+
+from repro.analysis.series import Series
+from repro.errors import WorkloadError
+
+
+def speedup_curve(label: str, thread_counts: list[int],
+                  cycles: list[int]) -> Series:
+    """Speedups T(1)/T(p) relative to the single-thread run.
+
+    The first entry must be the 1-thread measurement (as in the paper's
+    Figure 3, which normalizes every kernel to its own serial run).
+    """
+    if len(thread_counts) != len(cycles) or not cycles:
+        raise WorkloadError("thread counts and cycle lists must align")
+    if thread_counts[0] != 1:
+        raise WorkloadError("speedup needs the 1-thread baseline first")
+    base = cycles[0]
+    series = Series(label, x_name="threads", y_name="speedup")
+    for p, c in zip(thread_counts, cycles):
+        series.add(p, base / c if c else float("nan"))
+    return series
+
+
+def efficiency(series: Series) -> list[float]:
+    """Parallel efficiency (speedup / threads) per point."""
+    return [y / x if x else 0.0 for x, y in zip(series.x, series.y)]

@@ -1,0 +1,28 @@
+"""STREAM-convention reporting helpers."""
+
+from __future__ import annotations
+
+from repro.workloads.stream import StreamResult
+
+
+def stream_summary_row(result: StreamResult) -> list:
+    """One report row: the fields the paper's plots are built from."""
+    p = result.params
+    return [
+        p.kernel,
+        p.n_elements,
+        p.n_threads,
+        p.partition,
+        "local" if p.local_caches else "shared",
+        p.unroll,
+        result.cycles,
+        result.bandwidth_gb_s,
+        result.mean_thread_bandwidth_mb_s,
+        "yes" if result.verified else "NO",
+    ]
+
+
+STREAM_HEADERS = [
+    "kernel", "N", "threads", "partition", "caches", "unroll",
+    "cycles", "GB/s", "MB/s/thread", "verified",
+]

@@ -1,0 +1,29 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Render an aligned text table.
+
+    Cells are stringified with ``str`` except floats, which get 4
+    significant digits — enough to eyeball against the paper's plots.
+    """
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

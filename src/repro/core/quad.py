@@ -1,0 +1,52 @@
+"""Quads: groups of four thread units sharing an FPU and a data cache.
+
+"Groups of four thread units form a quad. The threads in a quad share a
+floating-point unit (FPU) and a data cache. Only the threads within a quad
+can use that quad's FPU, while any thread can access data stored in any of
+the data caches." (paper, Section 2)
+"""
+
+from __future__ import annotations
+
+from repro.config import ChipConfig
+from repro.core.fpu import FPU
+from repro.core.thread_unit import ThreadUnit
+from repro.errors import ConfigError
+
+
+class Quad:
+    """Four thread units + one FPU; the D-cache lives in the memory model."""
+
+    def __init__(self, quad_id: int, config: ChipConfig,
+                 threads: list[ThreadUnit], fpu: FPU) -> None:
+        if len(threads) != config.threads_per_quad:
+            raise ConfigError(
+                f"quad {quad_id} needs {config.threads_per_quad} threads, "
+                f"got {len(threads)}"
+            )
+        for thread in threads:
+            if thread.quad_id != quad_id:
+                raise ConfigError(
+                    f"thread {thread.tid} does not belong to quad {quad_id}"
+                )
+        self.quad_id = quad_id
+        self.config = config
+        self.threads = threads
+        self.fpu = fpu
+        #: The quad's D-cache has the same id (one per quad).
+        self.dcache_id = quad_id
+        #: The I-cache shared with the neighbouring quad(s).
+        self.icache_id = quad_id // config.quads_per_icache
+
+    @property
+    def thread_ids(self) -> tuple[int, ...]:
+        """The hardware thread ids in this quad."""
+        return tuple(thread.tid for thread in self.threads)
+
+    @property
+    def disabled(self) -> bool:
+        """A quad is disabled when its FPU is broken (paper, Section 5)."""
+        return self.fpu.failed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Quad {self.quad_id} threads={self.thread_ids}>"

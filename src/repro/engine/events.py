@@ -1,0 +1,80 @@
+"""Time-ordered event queue primitives.
+
+:class:`EventQueue` is a thin, fast wrapper over :mod:`heapq` keyed by
+``(time, sequence)`` so that same-cycle events pop in insertion order.
+:class:`Waiter` is a parking lot for processes blocked on a condition
+(barrier arrival, thread join, lock release): it holds them outside the
+scheduler heap until another process wakes them at an explicit time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Iterator
+
+
+class EventQueue:
+    """A min-heap of ``(time, payload)`` with stable FIFO tie-breaking."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Any]] = []
+        self._seq = count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: int, payload: Any) -> None:
+        """Schedule *payload* at *time* (ties pop in push order)."""
+        heapq.heappush(self._heap, (time, next(self._seq), payload))
+
+    def pop(self) -> tuple[int, Any]:
+        """Remove and return the earliest ``(time, payload)``."""
+        time, _, payload = heapq.heappop(self._heap)
+        return time, payload
+
+    def peek_time(self) -> int:
+        """Earliest scheduled time without removing it."""
+        return self._heap[0][0]
+
+    def drain(self) -> Iterator[tuple[int, Any]]:
+        """Pop everything in time order (useful in tests)."""
+        while self._heap:
+            yield self.pop()
+
+
+class Waiter:
+    """A FIFO parking lot for blocked processes.
+
+    Processes park here while blocked; :meth:`wake_all` / :meth:`wake_one`
+    hand them back to the caller (typically to be rescheduled at the
+    waking time). The waiter itself is policy-free.
+    """
+
+    __slots__ = ("_parked",)
+
+    def __init__(self) -> None:
+        self._parked: list[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._parked)
+
+    def park(self, process: Any) -> None:
+        """Add *process* to the parking lot."""
+        self._parked.append(process)
+
+    def wake_all(self) -> list[Any]:
+        """Remove and return every parked process in FIFO order."""
+        woken, self._parked = self._parked, []
+        return woken
+
+    def wake_one(self) -> Any | None:
+        """Remove and return the earliest-parked process, or ``None``."""
+        if not self._parked:
+            return None
+        return self._parked.pop(0)

@@ -1,0 +1,183 @@
+"""Generator-process scheduler.
+
+A *process* is a Python generator. The protocol has two yield forms:
+
+``granted = yield t`` (``t`` an ``int``)
+    Reschedule me at absolute cycle ``t``; I will touch shared state only
+    after resuming. The scheduler resumes the globally earliest process
+    first, so shared-state operations happen in nondecreasing simulated
+    time. ``granted`` is the resume time (always ``t``).
+
+``granted = yield BLOCK``
+    Park me; some other process will call :meth:`Scheduler.wake` with a
+    wake-up time, which becomes ``granted``.
+
+Returning from the generator ends the process; exit callbacks registered
+with :meth:`Process.on_exit` run at the process's final time (used for
+thread join).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.engine.events import EventQueue
+from repro.errors import DeadlockError, SimulationError
+
+#: Sentinel yielded by a process that parks itself until woken.
+BLOCK = object()
+
+ProcessBody = Generator[Any, int, None]
+
+
+class Process:
+    """A schedulable generator with bookkeeping for joins and accounting."""
+
+    __slots__ = ("pid", "name", "gen", "time", "done", "blocked", "started",
+                 "_exit_callbacks")
+
+    def __init__(self, pid: int, gen: ProcessBody, name: str = "") -> None:
+        self.pid = pid
+        self.name = name or f"process-{pid}"
+        self.gen = gen
+        #: The process's local clock: last known simulated time.
+        self.time = 0
+        self.done = False
+        self.blocked = False
+        self.started = False
+        self._exit_callbacks: list[Callable[[int], None]] = []
+
+    def on_exit(self, callback: Callable[[int], None]) -> None:
+        """Run *callback(final_time)* when the process finishes."""
+        if self.done:
+            callback(self.time)
+        else:
+            self._exit_callbacks.append(callback)
+
+    def _finish(self) -> None:
+        self.done = True
+        callbacks, self._exit_callbacks = self._exit_callbacks, []
+        for callback in callbacks:
+            callback(self.time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else ("blocked" if self.blocked else "ready")
+        return f"<Process {self.name} t={self.time} {state}>"
+
+
+class Scheduler:
+    """Runs processes in global simulated-time order until quiescence."""
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now = 0
+        self._next_pid = 0
+        self._n_live = 0
+        self._n_parked = 0
+        self._parked_processes: set[Process] = set()
+
+    # ------------------------------------------------------------------
+    # Process lifecycle
+    # ------------------------------------------------------------------
+    def spawn(self, gen: ProcessBody, start_time: int | None = None,
+              name: str = "") -> Process:
+        """Create a process from *gen* and schedule its first step."""
+        process = Process(self._next_pid, gen, name)
+        self._next_pid += 1
+        process.time = self.now if start_time is None else start_time
+        if process.time < self.now:
+            raise SimulationError(
+                f"cannot spawn {process.name} in the past "
+                f"(t={process.time} < now={self.now})"
+            )
+        self._n_live += 1
+        self.queue.push(process.time, process)
+        return process
+
+    def wake(self, process: Process, time: int) -> None:
+        """Unpark *process* and schedule it at *time*."""
+        if not process.blocked:
+            raise SimulationError(f"{process.name} is not blocked")
+        if time < self.now:
+            raise SimulationError(
+                f"cannot wake {process.name} in the past (t={time} < {self.now})"
+            )
+        process.blocked = False
+        process.time = time
+        self._n_parked -= 1
+        self._parked_processes.discard(process)
+        self.queue.push(time, process)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, until: int | None = None) -> int:
+        """Run until no runnable process remains (or past *until* cycles).
+
+        Returns the final simulated time. Raises :class:`DeadlockError`
+        if live processes remain parked with nothing left to wake them.
+        """
+        while self.queue:
+            if until is not None and self.queue.peek_time() > until:
+                self.now = until
+                return self.now
+            time, process = self.queue.pop()
+            if time < self.now:
+                raise SimulationError(
+                    f"time went backwards: {time} < {self.now}"
+                )
+            self.now = time
+            process.time = time
+            self._step(process)
+        if self._n_parked and self._n_live:
+            names = sorted(p.name for p in self._parked_processes)
+            shown = ", ".join(names[:8])
+            if len(names) > 8:
+                shown += f", ... (+{len(names) - 8} more)"
+            raise DeadlockError(
+                f"{self._n_parked} process(es) blocked with no runnable "
+                f"work at t={self.now}: {shown}"
+            )
+        return self.now
+
+    def _step(self, process: Process) -> None:
+        """Resume *process* once and interpret what it yields."""
+        try:
+            if process.started:
+                request = process.gen.send(process.time)
+            else:
+                process.started = True
+                request = next(process.gen)
+        except StopIteration:
+            self._n_live -= 1
+            process._finish()
+            return
+        if request is BLOCK:
+            process.blocked = True
+            self._n_parked += 1
+            self._parked_processes.add(process)
+            return
+        if not isinstance(request, int):
+            raise SimulationError(
+                f"{process.name} yielded {request!r}; expected int time or BLOCK"
+            )
+        if request < process.time:
+            raise SimulationError(
+                f"{process.name} rescheduled into the past "
+                f"({request} < {process.time})"
+            )
+        process.time = request
+        self.queue.push(request, process)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_live(self) -> int:
+        """Processes spawned and not yet finished."""
+        return self._n_live
+
+    @property
+    def n_parked(self) -> int:
+        """Processes currently blocked."""
+        return self._n_parked

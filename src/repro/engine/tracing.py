@@ -1,0 +1,69 @@
+"""Optional event tracing.
+
+A :class:`Tracer` collects ``(time, source, event, detail)`` tuples when
+enabled; the default :data:`NULL_TRACER` discards everything with near-zero
+overhead. Chip components accept a tracer so tests and examples can assert
+on microarchitectural event sequences (issue, stall, miss, barrier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced microarchitectural event."""
+
+    time: int
+    source: str
+    event: str
+    detail: str = ""
+
+
+class Tracer:
+    """Collects trace records; filterable by event name."""
+
+    enabled = True
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self.records: list[TraceRecord] = []
+        #: Optional bound: the oldest records are dropped beyond it.
+        self.capacity = capacity
+
+    def emit(self, time: int, source: str, event: str, detail: str = "") -> None:
+        """Record one event."""
+        self.records.append(TraceRecord(time, source, event, detail))
+        if self.capacity is not None and len(self.records) > self.capacity:
+            del self.records[0]
+
+    def events(self, name: str | None = None) -> Iterable[TraceRecord]:
+        """Iterate records, optionally filtered to one event name."""
+        if name is None:
+            return iter(self.records)
+        return (r for r in self.records if r.event == name)
+
+    def count(self, name: str) -> int:
+        """Number of records with the given event name."""
+        return sum(1 for _ in self.events(name))
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self.records.clear()
+
+
+class _NullTracer(Tracer):
+    """A tracer that ignores everything (the default)."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=0)
+
+    def emit(self, time: int, source: str, event: str, detail: str = "") -> None:
+        pass
+
+
+#: Shared do-nothing tracer used when tracing is off.
+NULL_TRACER = _NullTracer()

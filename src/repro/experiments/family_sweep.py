@@ -1,0 +1,97 @@
+"""Architecture-family trade-off sweep (extension).
+
+The paper stresses that its 128-thread/32-quad/16-bank chip "represent[s]
+just one of many configurations possible" and cites a companion report on
+the Cyclops architecture family for the trade-off study. This driver
+sweeps the two sharing knobs that report varies — threads per FPU/cache
+and the number of memory banks — over a bandwidth-bound kernel (Triad)
+and a compute-bound one (DGEMM), printing the trade-off surface.
+
+Not a paper artifact; registered as ``family`` for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis.tables import format_table
+from repro.config import ChipConfig
+from repro.experiments.registry import ExperimentReport, register
+from repro.runtime.kernel import AllocationPolicy
+from repro.workloads.dgemm import DgemmParams, run_dgemm
+from repro.workloads.stream import StreamParams, run_stream
+
+
+@register("family")
+def run(quick: bool = False) -> ExperimentReport:
+    """Sweep sharing degree and bank count."""
+    sharing_degrees = (2, 4) if quick else (1, 2, 4, 8)
+    bank_counts = (8, 16) if quick else (4, 8, 16)
+    n_threads = 16 if quick else 32
+    per_thread = 200 if quick else 400
+
+    report = ExperimentReport(
+        experiment_id="family",
+        title="Cyclops architecture-family trade-offs (extension)",
+        paper=("Section 2: 'The total numbers of processing units and "
+               "memory modules are mainly driven by silicon area ... The "
+               "degrees of sharing for floating-point and cache units "
+               "were selected based on instruction mixes'; the companion "
+               "report [3] studies the family."),
+    )
+
+    rows = []
+    for degree in sharing_degrees:
+        cfg = ChipConfig(
+            n_threads=64, threads_per_quad=degree,
+            quads_per_icache=1 if degree >= 8 else 2,
+        )
+        triad = run_stream(StreamParams(
+            kernel="triad", n_elements=n_threads * per_thread,
+            n_threads=n_threads, policy=AllocationPolicy.SEQUENTIAL,
+        ), config=cfg)
+        dgemm = run_dgemm(DgemmParams(
+            n=16, block=8, n_threads=min(n_threads, 16),
+            use_scratchpad=False, policy=AllocationPolicy.SEQUENTIAL,
+        ), config=cfg)
+        rows.append([
+            degree, cfg.n_fpus, triad.bandwidth_gb_s,
+            dgemm.flops_per_cycle,
+            "yes" if triad.verified and dgemm.verified else "NO",
+        ])
+    report.tables.append(format_table(
+        ["threads/FPU", "FPUs", "triad GB/s", "dgemm flops/cyc",
+         "verified"],
+        rows,
+        title=f"FPU/cache sharing degree (64 threads, {n_threads} used)",
+    ))
+    report.measurements["dgemm_flops_degree_min"] = rows[0][3]
+    report.measurements["dgemm_flops_degree_max"] = rows[-1][3]
+
+    rows = []
+    # A genuinely out-of-cache working set (3 vectors x 126 x N x 8 B
+    # must dwarf the 512 KB of cache) so the banks are the bottleneck.
+    bank_per_thread = 400 if quick else 1000
+    for banks in bank_counts:
+        cfg = replace(ChipConfig.paper(), n_memory_banks=banks)
+        triad = run_stream(StreamParams(
+            kernel="triad", n_elements=126 * bank_per_thread,
+            n_threads=126, warmup=False,
+        ), config=cfg)
+        rows.append([
+            banks, cfg.peak_memory_bandwidth / 1e9,
+            triad.bandwidth_gb_s,
+            "yes" if triad.verified else "NO",
+        ])
+    report.tables.append(format_table(
+        ["banks", "peak GB/s", "measured triad GB/s", "verified"],
+        rows,
+        title="Memory bank count (126 threads, out-of-cache Triad)",
+    ))
+    report.measurements["triad_banks_min"] = rows[0][2]
+    report.measurements["triad_banks_max"] = rows[-1][2]
+    report.notes.append(
+        "Extension: a family sweep in the spirit of the companion "
+        "report; not a figure of this paper."
+    )
+    return report

@@ -1,0 +1,63 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Subcommands::
+
+    list                 show every registered experiment
+    run <id> [--quick]   run one experiment (or ``all``) and print it
+    run all -o out/      also write one report file per experiment
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments.registry import REGISTRY, get_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the tables and figures of the Cyclops "
+                    "HPCA 2002 paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list registered experiments")
+    run_cmd = sub.add_parser("run", help="run experiments")
+    run_cmd.add_argument("experiment", help="experiment id or 'all'")
+    run_cmd.add_argument("--quick", action="store_true",
+                         help="tiny problem sizes (smoke test)")
+    run_cmd.add_argument("-o", "--output-dir", default=None,
+                         help="also write one .txt report per experiment")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in sorted(REGISTRY):
+            print(experiment_id)
+        return 0
+
+    ids = sorted(REGISTRY) if args.experiment == "all" \
+        else [args.experiment]
+    out_dir = pathlib.Path(args.output_dir) if args.output_dir else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for experiment_id in ids:
+        driver = get_experiment(experiment_id)
+        started = time.time()
+        report = driver(quick=args.quick)
+        elapsed = time.time() - started
+        text = report.render() + f"\n\n(completed in {elapsed:.1f}s)\n"
+        print(text)
+        if out_dir:
+            (out_dir / f"{experiment_id}.txt").write_text(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

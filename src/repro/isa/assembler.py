@@ -1,0 +1,163 @@
+"""A two-pass assembler for the Cyclops ISA.
+
+Syntax, one instruction or label per line; ``#`` starts a comment::
+
+    start:
+        addi  r3, r0, 100      # immediates are decimal or 0x hex
+        lw    r4, 8(r1)        # displacement addressing
+        fmadd r8, r10, r12
+        beq   r3, r0, done     # branch targets are labels
+        j     start
+    done:
+        halt
+
+Registers are ``r0``..``r63``. Branch offsets and jump targets are
+resolved from labels in the second pass.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblerError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, opcode
+from repro.isa.program import Program
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+_MEM_RE = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))\(r(\d+)\)$")
+
+#: R-format instructions that read a single source operand.
+_TWO_OPERAND = frozenset({"fneg", "fabs", "fmov", "fsqrt", "cvtif", "cvtfi"})
+
+
+def _parse_reg(token: str, line_no: int) -> int:
+    if not token.startswith("r"):
+        raise AssemblerError(f"line {line_no}: expected register, got {token!r}")
+    try:
+        reg = int(token[1:])
+    except ValueError:
+        raise AssemblerError(
+            f"line {line_no}: bad register {token!r}") from None
+    if not 0 <= reg < 64:
+        raise AssemblerError(f"line {line_no}: register {token} out of range")
+    return reg
+
+
+def _parse_imm(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(
+            f"line {line_no}: bad immediate {token!r}") from None
+
+
+def assemble(source: str, base: int = 0) -> Program:
+    """Assemble *source* text into a :class:`Program`."""
+    # Pass 1: strip comments, collect labels and raw operations.
+    operations: list[tuple[int, str, list[str]]] = []
+    labels: dict[str, int] = {}
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            name = label_match.group(1)
+            if name in labels:
+                raise AssemblerError(f"line {line_no}: duplicate label {name!r}")
+            labels[name] = len(operations)
+            continue
+        parts = line.replace(",", " ").split()
+        operations.append((line_no, parts[0].lower(), parts[1:]))
+
+    # Pass 2: encode with labels resolved.
+    instructions: list[Instruction] = []
+    for index, (line_no, mnemonic, args) in enumerate(operations):
+        op = _lookup(mnemonic, line_no)
+        instructions.append(
+            _build(op, args, index, labels, line_no)
+        )
+    return Program(instructions=instructions, labels=labels, base=base)
+
+
+def _lookup(mnemonic: str, line_no: int):
+    try:
+        return opcode(mnemonic)
+    except Exception:
+        raise AssemblerError(
+            f"line {line_no}: unknown instruction {mnemonic!r}") from None
+
+
+def _resolve(token: str, index: int, labels: dict[str, int], line_no: int,
+             relative: bool) -> int:
+    if token in labels:
+        target = labels[token]
+        return target - (index + 1) if relative else target
+    value = _parse_imm(token, line_no)
+    return value
+
+
+def _build(op, args: list[str], index: int, labels: dict[str, int],
+           line_no: int) -> Instruction:
+    fmt = op.fmt
+
+    def need(count: int) -> None:
+        if len(args) != count:
+            raise AssemblerError(
+                f"line {line_no}: {op.name} takes {count} operand(s), "
+                f"got {len(args)}"
+            )
+
+    if fmt is Format.R:
+        if op.name in _TWO_OPERAND:
+            need(2)
+            return Instruction(op, rd=_parse_reg(args[0], line_no),
+                               ra=_parse_reg(args[1], line_no))
+        need(3)
+        return Instruction(op, rd=_parse_reg(args[0], line_no),
+                           ra=_parse_reg(args[1], line_no),
+                           rb=_parse_reg(args[2], line_no))
+    if fmt is Format.I:
+        if op.name in ("mtspr", "mfspr"):
+            need(2)
+            reg = _parse_reg(args[0], line_no)
+            imm = _parse_imm(args[1], line_no)
+            if op.name == "mtspr":
+                return Instruction(op, ra=reg, imm=imm)
+            return Instruction(op, rd=reg, imm=imm)
+        if op.name == "lui":
+            need(2)
+            return Instruction(op, rd=_parse_reg(args[0], line_no),
+                               imm=_parse_imm(args[1], line_no))
+        need(3)
+        return Instruction(op, rd=_parse_reg(args[0], line_no),
+                           ra=_parse_reg(args[1], line_no),
+                           imm=_parse_imm(args[2], line_no))
+    if fmt is Format.M:
+        need(2)
+        match = _MEM_RE.match(args[1])
+        if not match:
+            raise AssemblerError(
+                f"line {line_no}: expected displacement form imm(rN), "
+                f"got {args[1]!r}"
+            )
+        return Instruction(op, rd=_parse_reg(args[0], line_no),
+                           ra=int(match.group(2)),
+                           imm=int(match.group(1), 0))
+    if fmt is Format.B:
+        need(3)
+        return Instruction(op, ra=_parse_reg(args[0], line_no),
+                           rb=_parse_reg(args[1], line_no),
+                           imm=_resolve(args[2], index, labels, line_no,
+                                        relative=True))
+    if fmt is Format.J:
+        need(1)
+        return Instruction(op, imm=_resolve(args[0], index, labels, line_no,
+                                            relative=False))
+    # S format: jr/tid take one register; nop/halt/sync take none.
+    if op.name in ("jr", "tid"):
+        need(1)
+        return Instruction(op, rd=_parse_reg(args[0], line_no))
+    need(0)
+    return Instruction(op)

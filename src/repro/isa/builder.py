@@ -1,0 +1,184 @@
+"""A programmatic assembly builder.
+
+The builder emits instructions through mnemonic-named methods and
+resolves labels at :meth:`build` time, so generated kernels (unrolled
+loops, parameterized strides) read naturally::
+
+    b = Builder()
+    b.addi(3, 0, 16)          # r3 = count
+    b.label("loop")
+    b.lw(4, 0, base=5)        # lw r4, 0(r5)
+    b.addi(5, 5, 4)
+    b.addi(3, 3, -1)
+    b.bne(3, 0, "loop")
+    b.halt()
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblerError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, opcode
+from repro.isa.program import Program
+
+
+class Builder:
+    """Collects instructions and labels, then builds a Program."""
+
+    def __init__(self) -> None:
+        self._items: list[tuple] = []  # ("inst", Instruction) | pending
+        self._labels: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def label(self, name: str) -> "Builder":
+        """Define a label at the current position."""
+        if name in self._labels:
+            raise AssemblerError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._items)
+        return self
+
+    def emit(self, mnemonic: str, rd: int = 0, ra: int = 0, rb: int = 0,
+             imm: int = 0, target: str | int | None = None) -> "Builder":
+        """Emit one instruction; *target* defers a label reference."""
+        op = opcode(mnemonic)
+        if target is not None and isinstance(target, str):
+            self._items.append(("pending", op, rd, ra, rb, target))
+        else:
+            if target is not None:
+                imm = int(target)
+            self._items.append(
+                ("inst", Instruction(op, rd=rd, ra=ra, rb=rb, imm=imm))
+            )
+        return self
+
+    def build(self, base: int = 0) -> Program:
+        """Resolve labels and produce the final program."""
+        instructions: list[Instruction] = []
+        for index, item in enumerate(self._items):
+            if item[0] == "inst":
+                instructions.append(item[1])
+                continue
+            _, op, rd, ra, rb, name = item
+            if name not in self._labels:
+                raise AssemblerError(f"undefined label {name!r}")
+            target = self._labels[name]
+            imm = target - (index + 1) if op.fmt is Format.B else target
+            instructions.append(Instruction(op, rd=rd, ra=ra, rb=rb, imm=imm))
+        return Program(instructions=instructions, labels=dict(self._labels),
+                       base=base)
+
+    # ------------------------------------------------------------------
+    # Mnemonic helpers (the common subset, explicit for readability)
+    # ------------------------------------------------------------------
+    def add(self, rd, ra, rb):
+        """Emit ``add rd, ra, rb``."""
+        return self.emit("add", rd=rd, ra=ra, rb=rb)
+
+    def sub(self, rd, ra, rb):
+        """Emit ``sub rd, ra, rb``."""
+        return self.emit("sub", rd=rd, ra=ra, rb=rb)
+
+    def addi(self, rd, ra, imm):
+        """Emit ``addi rd, ra, imm``."""
+        return self.emit("addi", rd=rd, ra=ra, imm=imm)
+
+    def mul(self, rd, ra, rb):
+        """Emit ``mul rd, ra, rb``."""
+        return self.emit("mul", rd=rd, ra=ra, rb=rb)
+
+    def div(self, rd, ra, rb):
+        """Emit ``div rd, ra, rb``."""
+        return self.emit("div", rd=rd, ra=ra, rb=rb)
+
+    def lui(self, rd, imm):
+        """Emit ``lui rd, imm``."""
+        return self.emit("lui", rd=rd, imm=imm)
+
+    def ori(self, rd, ra, imm):
+        """Emit ``ori rd, ra, imm``."""
+        return self.emit("ori", rd=rd, ra=ra, imm=imm)
+
+    def slli(self, rd, ra, imm):
+        """Emit ``slli rd, ra, imm``."""
+        return self.emit("slli", rd=rd, ra=ra, imm=imm)
+
+    def lw(self, rd, imm, base):
+        """Emit ``lw rd, imm(base)``."""
+        return self.emit("lw", rd=rd, ra=base, imm=imm)
+
+    def sw(self, rd, imm, base):
+        """Emit ``sw rd, imm(base)``."""
+        return self.emit("sw", rd=rd, ra=base, imm=imm)
+
+    def ld(self, rd, imm, base):
+        """Emit ``ld rd, imm(base)`` (double pair)."""
+        return self.emit("ld", rd=rd, ra=base, imm=imm)
+
+    def sd(self, rd, imm, base):
+        """Emit ``sd rd, imm(base)`` (double pair)."""
+        return self.emit("sd", rd=rd, ra=base, imm=imm)
+
+    def fadd(self, rd, ra, rb):
+        """Emit ``fadd rd, ra, rb``."""
+        return self.emit("fadd", rd=rd, ra=ra, rb=rb)
+
+    def fmul(self, rd, ra, rb):
+        """Emit ``fmul rd, ra, rb``."""
+        return self.emit("fmul", rd=rd, ra=ra, rb=rb)
+
+    def fmadd(self, rd, ra, rb):
+        """Emit ``fmadd rd, ra, rb`` (dd += da*db)."""
+        return self.emit("fmadd", rd=rd, ra=ra, rb=rb)
+
+    def fdiv(self, rd, ra, rb):
+        """Emit ``fdiv rd, ra, rb``."""
+        return self.emit("fdiv", rd=rd, ra=ra, rb=rb)
+
+    def fsqrt(self, rd, ra):
+        """Emit ``fsqrt rd, ra``."""
+        return self.emit("fsqrt", rd=rd, ra=ra)
+
+    def beq(self, ra, rb, target):
+        """Emit ``beq ra, rb, target`` (label or offset)."""
+        return self.emit("beq", ra=ra, rb=rb, target=target)
+
+    def bne(self, ra, rb, target):
+        """Emit ``bne ra, rb, target``."""
+        return self.emit("bne", ra=ra, rb=rb, target=target)
+
+    def blt(self, ra, rb, target):
+        """Emit ``blt ra, rb, target``."""
+        return self.emit("blt", ra=ra, rb=rb, target=target)
+
+    def j(self, target):
+        """Emit ``j target``."""
+        return self.emit("j", target=target)
+
+    def amoadd(self, rd, ra, rb):
+        """Emit atomic ``amoadd rd, ra, rb``."""
+        return self.emit("amoadd", rd=rd, ra=ra, rb=rb)
+
+    def amoswap(self, rd, ra, rb):
+        """Emit atomic ``amoswap rd, ra, rb``."""
+        return self.emit("amoswap", rd=rd, ra=ra, rb=rb)
+
+    def mtspr(self, ra, spr=0):
+        """Emit ``mtspr ra, spr`` (write own barrier SPR)."""
+        return self.emit("mtspr", ra=ra, imm=spr)
+
+    def mfspr(self, rd, spr=0):
+        """Emit ``mfspr rd, spr`` (read the wired OR)."""
+        return self.emit("mfspr", rd=rd, imm=spr)
+
+    def tid(self, rd):
+        """Emit ``tid rd`` (hardware thread id)."""
+        return self.emit("tid", rd=rd)
+
+    def nop(self):
+        """Emit ``nop``."""
+        return self.emit("nop")
+
+    def halt(self):
+        """Emit ``halt``."""
+        return self.emit("halt")

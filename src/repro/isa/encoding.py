@@ -1,0 +1,84 @@
+"""Binary encoding: 32-bit instruction words.
+
+Layout (big fields first):
+
+* bits 31..25 — 7-bit opcode;
+* R/S: bits 24..19 ``rd``, 18..13 ``ra``, 12..7 ``rb``, 6..0 zero;
+* I/M: bits 24..19 ``rd``, 18..13 ``ra``, 12..0 signed immediate;
+* B:   bits 24..19 ``ra``, 18..13 ``rb``, 12..0 signed word offset;
+* J:   bits 24..0 absolute word target.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OPCODES_BY_CODE, Format, Opcode
+
+_IMM13_MASK = (1 << 13) - 1
+_REG_MASK = 0x3F
+
+
+def _imm13(value: int) -> int:
+    if not -(1 << 12) <= value < (1 << 12):
+        raise EncodingError(f"immediate {value} exceeds signed 13 bits")
+    return value & _IMM13_MASK
+
+
+def _unimm13(field: int) -> int:
+    return field - (1 << 13) if field & (1 << 12) else field
+
+
+def encode_instruction(inst: Instruction) -> int:
+    """Encode to a 32-bit word."""
+    op = inst.opcode
+    word = op.code << 25
+    if op.fmt in (Format.R, Format.S):
+        word |= (inst.rd & _REG_MASK) << 19
+        word |= (inst.ra & _REG_MASK) << 13
+        word |= (inst.rb & _REG_MASK) << 7
+    elif op.fmt in (Format.I, Format.M):
+        word |= (inst.rd & _REG_MASK) << 19
+        word |= (inst.ra & _REG_MASK) << 13
+        word |= _imm13(inst.imm)
+    elif op.fmt is Format.B:
+        word |= (inst.ra & _REG_MASK) << 19
+        word |= (inst.rb & _REG_MASK) << 13
+        word |= _imm13(inst.imm)
+    elif op.fmt is Format.J:
+        if not 0 <= inst.imm < (1 << 25):
+            raise EncodingError(f"jump target {inst.imm} exceeds 25 bits")
+        word |= inst.imm
+    return word
+
+
+def decode_instruction(word: int) -> Instruction:
+    """Decode a 32-bit word back to an :class:`Instruction`."""
+    if not 0 <= word < (1 << 32):
+        raise EncodingError(f"instruction word {word:#x} exceeds 32 bits")
+    code = word >> 25
+    op: Opcode | None = OPCODES_BY_CODE.get(code)
+    if op is None:
+        raise EncodingError(f"unknown opcode {code} in word {word:#010x}")
+    if op.fmt in (Format.R, Format.S):
+        return Instruction(
+            op,
+            rd=(word >> 19) & _REG_MASK,
+            ra=(word >> 13) & _REG_MASK,
+            rb=(word >> 7) & _REG_MASK,
+        )
+    if op.fmt in (Format.I, Format.M):
+        return Instruction(
+            op,
+            rd=(word >> 19) & _REG_MASK,
+            ra=(word >> 13) & _REG_MASK,
+            imm=_unimm13(word & _IMM13_MASK),
+        )
+    if op.fmt is Format.B:
+        return Instruction(
+            op,
+            ra=(word >> 19) & _REG_MASK,
+            rb=(word >> 13) & _REG_MASK,
+            imm=_unimm13(word & _IMM13_MASK),
+        )
+    return Instruction(op, imm=word & ((1 << 25) - 1))

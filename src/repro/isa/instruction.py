@@ -1,0 +1,63 @@
+"""Instruction objects: one decoded machine instruction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IsaError
+from repro.isa.opcodes import Format, Opcode
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One instruction: opcode plus operand fields.
+
+    Field use by format:
+
+    ======  =====================================
+    R       ``rd``, ``ra``, ``rb``
+    I       ``rd``, ``ra``, ``imm`` (signed 13-bit)
+    M       ``rd``, ``imm(ra)``
+    B       ``ra``, ``rb``, ``imm`` = word offset
+    J       ``imm`` = absolute word target
+    S       ``rd`` (where meaningful)
+    ======  =====================================
+    """
+
+    opcode: Opcode
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        for reg in (self.rd, self.ra, self.rb):
+            if not 0 <= reg < 64:
+                raise IsaError(f"{self.opcode.name}: register r{reg} invalid")
+        if self.opcode.fmt in (Format.I, Format.M, Format.B):
+            if not -(1 << 12) <= self.imm < (1 << 12):
+                raise IsaError(
+                    f"{self.opcode.name}: immediate {self.imm} exceeds 13 bits"
+                )
+        elif self.opcode.fmt is Format.J:
+            if not 0 <= self.imm < (1 << 25):
+                raise IsaError(
+                    f"{self.opcode.name}: jump target {self.imm} exceeds 25 bits"
+                )
+
+    def render(self) -> str:
+        """Disassemble into canonical assembly text."""
+        name, fmt = self.opcode.name, self.opcode.fmt
+        if fmt is Format.R:
+            return f"{name} r{self.rd}, r{self.ra}, r{self.rb}"
+        if fmt is Format.I:
+            return f"{name} r{self.rd}, r{self.ra}, {self.imm}"
+        if fmt is Format.M:
+            return f"{name} r{self.rd}, {self.imm}(r{self.ra})"
+        if fmt is Format.B:
+            return f"{name} r{self.ra}, r{self.rb}, {self.imm}"
+        if fmt is Format.J:
+            return f"{name} {self.imm}"
+        if name in ("jr", "tid"):
+            return f"{name} r{self.rd}"
+        return name

@@ -1,0 +1,463 @@
+"""The ISA interpreter: functional + timed execution on a chip.
+
+Each thread is a scheduler process executing its program in order:
+
+* **fetch** — straight-line fetch inside the current 16-instruction PIB
+  window is free; leaving the window consults the quad pair's I-cache
+  (one cycle on a hit, a memory burst on a miss);
+* **issue** — in-order, single issue: the instruction waits for its
+  source registers (a per-register scoreboard of ready times) and for
+  its unit (private ALU always free; FPU pipes and memory ports are the
+  shared chip resources);
+* **complete** — possibly out of order: the destination register's ready
+  time is set to issue + execution + latency per Table 2.
+
+The same :class:`~repro.core.chip.Chip` hardware backs this layer and
+the direct-execution runtime, so Table 2 microbenchmarks written in
+assembly validate the timing model the workloads run on.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.chip import Chip
+from repro.core.icache import PrefetchBuffer
+from repro.core.thread_unit import ThreadUnit
+from repro.engine.scheduler import Scheduler
+from repro.errors import ExecutionError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import UnitClass
+from repro.isa.program import Program
+from repro.isa.registers import REG_LINK, RegisterFile
+
+_U32 = 0xFFFFFFFF
+
+
+class ThreadExit(Exception):
+    """Raised internally when a thread executes ``halt``."""
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+class _ThreadState:
+    """Interpreter-side state of one hardware thread."""
+
+    __slots__ = ("tu", "regs", "ready", "pc", "pib", "program", "halted")
+
+    def __init__(self, tu: ThreadUnit, program: Program) -> None:
+        self.tu = tu
+        self.regs = RegisterFile()
+        #: Scoreboard: cycle at which each register's value is ready.
+        self.ready = [0] * 64
+        self.pc = 0
+        self.pib = PrefetchBuffer(tu.config)
+        self.program = program
+        self.halted = False
+
+
+class Interpreter:
+    """Runs assembled programs on a chip with full timing."""
+
+    def __init__(self, chip: Chip, model_fetch: bool = True) -> None:
+        self.chip = chip
+        self.scheduler = Scheduler()
+        self.model_fetch = model_fetch
+        self.states: dict[int, _ThreadState] = {}
+
+    # ------------------------------------------------------------------
+    def add_thread(self, tid: int, program: Program,
+                   init_regs: dict[int, int] | None = None,
+                   init_doubles: dict[int, float] | None = None) -> _ThreadState:
+        """Bind *program* to hardware thread *tid* and schedule it."""
+        if tid in self.states:
+            raise ExecutionError(f"thread {tid} already has a program")
+        tu = self.chip.thread(tid)
+        state = _ThreadState(tu, program)
+        for reg, value in (init_regs or {}).items():
+            state.regs.write(reg, value)
+        for reg, value in (init_doubles or {}).items():
+            state.regs.write_double(reg, value)
+        self.states[tid] = state
+        self.scheduler.spawn(self._thread_proc(state), name=f"isa-t{tid}")
+        return state
+
+    def run(self, until: int | None = None) -> int:
+        """Run all threads to completion; returns the final cycle."""
+        return self.scheduler.run(until)
+
+    # ------------------------------------------------------------------
+    # The per-thread process
+    # ------------------------------------------------------------------
+    def _thread_proc(self, state: _ThreadState):
+        tu = state.tu
+        program = state.program
+        while not state.halted:
+            if not 0 <= state.pc < len(program):
+                raise ExecutionError(
+                    f"thread {tu.tid}: pc {state.pc} outside program"
+                )
+            address = program.address_of(state.pc)
+            if self.model_fetch and not state.pib.holds(address):
+                now = yield tu.issue_time
+                icache = self.chip.icache_of(tu.tid)
+                ready, _ = icache.fetch(
+                    now, address, self.chip.memory.banks,
+                    self.chip.memory.address_map,
+                )
+                tu.issue_at(ready)
+                state.pib.refill(address)
+            inst = program[state.pc]
+            yield from self._execute(state, inst)
+        # Sync the process clock to the architectural finish time, so
+        # run() reports real cycles even for programs that never touch
+        # shared resources (pure ALU work advances only the local clock).
+        yield tu.issue_time
+
+    # ------------------------------------------------------------------
+    # Execution (functional + timing per unit class)
+    # ------------------------------------------------------------------
+    def _execute(self, state: _ThreadState, inst: Instruction):
+        unit = inst.opcode.unit
+        if unit in (UnitClass.ALU, UnitClass.ALU_MUL, UnitClass.ALU_DIV):
+            self._exec_alu(state, inst)
+        elif unit is UnitClass.BRANCH:
+            self._exec_branch(state, inst)
+        elif unit in (UnitClass.LOAD, UnitClass.STORE, UnitClass.ATOMIC):
+            yield from self._exec_memory(state, inst)
+        elif unit in (UnitClass.FPU_ADD, UnitClass.FPU_MUL, UnitClass.FPU_FMA,
+                      UnitClass.FPU_DIV, UnitClass.FPU_SQRT, UnitClass.FPU_CVT):
+            yield from self._exec_fpu(state, inst)
+        elif unit is UnitClass.SPR:
+            yield from self._exec_spr(state, inst)
+        else:
+            self._exec_system(state, inst)
+
+    # --- helpers ---------------------------------------------------------
+    def _deps(self, state: _ThreadState, *regs: int) -> int:
+        earliest = state.tu.issue_time
+        for reg in regs:
+            t = state.ready[reg]
+            if t > earliest:
+                earliest = t
+        return earliest
+
+    def _pair_deps(self, state: _ThreadState, *regs: int) -> int:
+        earliest = state.tu.issue_time
+        for reg in regs:
+            for r in (reg, reg + 1 if reg + 1 < 64 else reg):
+                t = state.ready[r]
+                if t > earliest:
+                    earliest = t
+        return earliest
+
+    def _set_ready(self, state: _ThreadState, reg: int, time: int,
+                   pair: bool = False) -> None:
+        state.ready[reg] = time
+        if pair and reg + 1 < 64:
+            state.ready[reg + 1] = time
+
+    # --- ALU ---------------------------------------------------------------
+    def _exec_alu(self, state: _ThreadState, inst: Instruction) -> None:
+        regs, tu = state.regs, state.tu
+        name = inst.opcode.name
+        a = regs.read(inst.ra)
+        b = regs.read(inst.rb)
+        imm = inst.imm
+        if name == "add":
+            value = a + b
+        elif name == "sub":
+            value = a - b
+        elif name == "and":
+            value = a & b
+        elif name == "or":
+            value = a | b
+        elif name == "xor":
+            value = a ^ b
+        elif name == "nor":
+            value = ~(a | b)
+        elif name == "slt":
+            value = int(_signed(a) < _signed(b))
+        elif name == "sltu":
+            value = int(a < b)
+        elif name == "sll":
+            value = a << (b & 31)
+        elif name == "srl":
+            value = a >> (b & 31)
+        elif name == "sra":
+            value = _signed(a) >> (b & 31)
+        elif name == "addi":
+            value = a + imm
+        elif name == "andi":
+            value = a & (imm & _U32)
+        elif name == "ori":
+            value = a | (imm & _U32)
+        elif name == "xori":
+            value = a ^ (imm & _U32)
+        elif name == "slti":
+            value = int(_signed(a) < imm)
+        elif name == "sltiu":
+            value = int(a < (imm & _U32))
+        elif name == "slli":
+            value = a << (imm & 31)
+        elif name == "srli":
+            value = a >> (imm & 31)
+        elif name == "srai":
+            value = _signed(a) >> (imm & 31)
+        elif name == "lui":
+            value = (imm & 0x1FFF) << 19
+        elif name == "mul":
+            value = (_signed(a) * _signed(b)) & _U32
+        elif name == "mulhu":
+            value = (a * b) >> 32
+        elif name == "div":
+            if b == 0:
+                raise ExecutionError(f"thread {tu.tid}: divide by zero")
+            value = int(_signed(a) / _signed(b))
+        elif name == "divu":
+            if b == 0:
+                raise ExecutionError(f"thread {tu.tid}: divide by zero")
+            value = a // b
+        elif name == "rem":
+            if b == 0:
+                raise ExecutionError(f"thread {tu.tid}: divide by zero")
+            value = int(__import__("math").fmod(_signed(a), _signed(b)))
+        else:  # pragma: no cover - table and dispatch are exhaustive
+            raise ExecutionError(f"unhandled ALU op {name}")
+        earliest = self._deps(state, inst.ra, inst.rb)
+        row = getattr(self.chip.config.latency, inst.opcode.latency_row)
+        ready = state.tu.execute_local(earliest, row)
+        regs.write(inst.rd, value & _U32)
+        self._set_ready(state, inst.rd, ready)
+        state.pc += 1
+
+    # --- branches -------------------------------------------------------------
+    def _exec_branch(self, state: _ThreadState, inst: Instruction) -> None:
+        regs = state.regs
+        name = inst.opcode.name
+        taken = False
+        target = state.pc + 1
+        if name in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            a, b = regs.read(inst.ra), regs.read(inst.rb)
+            sa, sb = _signed(a), _signed(b)
+            taken = {
+                "beq": a == b, "bne": a != b, "blt": sa < sb,
+                "bge": sa >= sb, "bltu": a < b, "bgeu": a >= b,
+            }[name]
+            if taken:
+                target = state.pc + 1 + inst.imm
+            earliest = self._deps(state, inst.ra, inst.rb)
+        elif name == "j":
+            taken, target = True, inst.imm
+            earliest = state.tu.issue_time
+        elif name == "jal":
+            regs.write(REG_LINK, state.program.address_of(state.pc + 1))
+            taken, target = True, inst.imm
+            earliest = state.tu.issue_time
+            self._set_ready(state, REG_LINK, earliest + 2)
+        else:  # jr
+            addr = regs.read(inst.rd)
+            taken = True
+            target = (addr - state.program.base) // 4
+            earliest = self._deps(state, inst.rd)
+        state.tu.execute_local(earliest, self.chip.config.latency.branch)
+        state.pc = target
+
+    # --- memory ------------------------------------------------------------
+    _SIZES = {"lw": 4, "sw": 4, "lhu": 2, "sh": 2, "lbu": 1, "sb": 1,
+              "ld": 8, "sd": 8}
+
+    def _exec_memory(self, state: _ThreadState, inst: Instruction):
+        regs, tu = state.regs, state.tu
+        name = inst.opcode.name
+        memory = self.chip.memory
+        quad = tu.quad_id
+        if inst.opcode.unit is UnitClass.ATOMIC:
+            earliest = self._deps(state, inst.ra, inst.rb)
+            earliest = yield earliest
+            effective = regs.read(inst.ra)
+            op = {"amoadd": "add", "amoswap": "swap",
+                  "amoand": "and", "amoor": "or"}[name]
+            outcome, old = memory.atomic_rmw_u32(
+                earliest, quad, effective, op, regs.read(inst.rb)
+            )
+            tu.issue_at(outcome.issue_end - 1)
+            tu.retire(1)
+            tu.counters.loads += 1
+            tu.counters.stores += 1
+            regs.write(inst.rd, old)
+            self._set_ready(state, inst.rd, outcome.complete)
+            state.pc += 1
+            return
+
+        size = self._SIZES[name]
+        is_store = inst.opcode.unit is UnitClass.STORE
+        src_regs = (inst.ra, inst.rd) if is_store else (inst.ra,)
+        earliest = self._pair_deps(state, *src_regs) if size == 8 \
+            else self._deps(state, *src_regs)
+        earliest = yield earliest
+        effective = (regs.read(inst.ra) + inst.imm) & 0xFFFFFFFF
+        ig_bits = effective & 0xFF000000
+        physical = effective & 0xFFFFFF
+        aligned = physical - physical % size if size >= 4 else physical & ~3
+        # Sub-word accesses are timed as their containing word.
+        access_size = max(size, 4)
+        outcome = memory.access(earliest, quad, ig_bits | aligned,
+                                access_size, is_store)
+        tu.issue_at(outcome.issue_end - 1)
+        tu.retire(1)
+        backing = memory.backing
+        if is_store:
+            tu.counters.stores += 1
+            if name == "sd":
+                backing.store_f64(physical, regs.read_double(inst.rd))
+            elif name == "sw":
+                backing.store_u32(physical, regs.read(inst.rd))
+            else:
+                raw = backing.read_block(physical - physical % 4, 4)
+                data = bytearray(raw)
+                offset = physical % 4
+                value = regs.read(inst.rd)
+                if name == "sh":
+                    data[offset:offset + 2] = struct.pack("<H", value & 0xFFFF)
+                else:
+                    data[offset] = value & 0xFF
+                backing.write_block(physical - physical % 4, bytes(data))
+        else:
+            tu.counters.loads += 1
+            if name == "ld":
+                regs.write_double(inst.rd, backing.load_f64(physical))
+                self._set_ready(state, inst.rd, outcome.complete, pair=True)
+            else:
+                if name == "lw":
+                    value = backing.load_u32(physical)
+                else:
+                    raw = backing.read_block(physical, size)
+                    value = int.from_bytes(raw, "little")
+                regs.write(inst.rd, value)
+                self._set_ready(state, inst.rd, outcome.complete)
+        state.pc += 1
+
+    # --- floating point ---------------------------------------------------
+    def _exec_fpu(self, state: _ThreadState, inst: Instruction):
+        regs, tu = state.regs, state.tu
+        name = inst.opcode.name
+        fpu = self.chip.fpu_of(tu.tid)
+        lat = self.chip.config.latency
+
+        if name in ("cvtif", "cvtfi"):
+            if name == "cvtif":
+                earliest = self._deps(state, inst.ra)
+            else:
+                earliest = self._pair_deps(state, inst.ra)
+            earliest = yield earliest
+            issue_end, ready = fpu.convert(earliest)
+            tu.issue_at(issue_end - 1)
+            tu.retire(1)
+            tu.counters.flops += 1
+            if name == "cvtif":
+                regs.write_double(inst.rd, float(regs.read_signed(inst.ra)))
+                self._set_ready(state, inst.rd, ready, pair=True)
+            else:
+                regs.write(inst.rd, int(regs.read_double(inst.ra)) & _U32)
+                self._set_ready(state, inst.rd, ready)
+            state.pc += 1
+            return
+
+        a = regs.read_double(inst.ra)
+        b = regs.read_double(inst.rb) if inst.rb % 2 == 0 else 0.0
+        if name == "fadd":
+            value, issue, flops = a + b, fpu.add, 1
+        elif name == "fsub":
+            value, issue, flops = a - b, fpu.add, 1
+        elif name == "fmul":
+            value, issue, flops = a * b, fpu.multiply, 1
+        elif name == "fdiv":
+            if b == 0.0:
+                raise ExecutionError(f"thread {tu.tid}: FP divide by zero")
+            value, issue, flops = a / b, fpu.divide, 1
+        elif name == "fsqrt":
+            value, issue, flops = a ** 0.5, fpu.sqrt, 1
+        elif name == "fmadd":
+            value, issue, flops = regs.read_double(inst.rd) + a * b, fpu.fma, 2
+        elif name == "fmsub":
+            value, issue, flops = regs.read_double(inst.rd) - a * b, fpu.fma, 2
+        elif name == "fneg":
+            value, issue, flops = -a, fpu.add, 1
+        elif name == "fabs":
+            value, issue, flops = abs(a), fpu.add, 1
+        elif name == "fmov":
+            value, issue, flops = a, fpu.add, 1
+        elif name in ("fcmplt", "fcmpeq"):
+            result = int(a < b) if name == "fcmplt" else int(a == b)
+            earliest = self._pair_deps(state, inst.ra, inst.rb)
+            earliest = yield earliest
+            issue_end, ready = fpu.add(earliest)
+            tu.issue_at(issue_end - 1)
+            tu.retire(1)
+            tu.counters.flops += 1
+            regs.write(inst.rd, result)
+            self._set_ready(state, inst.rd, ready)
+            state.pc += 1
+            return
+        else:  # pragma: no cover
+            raise ExecutionError(f"unhandled FPU op {name}")
+
+        deps = [inst.ra, inst.rb]
+        if name in ("fmadd", "fmsub"):
+            deps.append(inst.rd)
+        earliest = self._pair_deps(state, *deps)
+        earliest = yield earliest
+        issue_end, ready = issue(earliest)
+        exec_cycles = getattr(lat, inst.opcode.latency_row)[0]
+        tu.issue_at(issue_end - exec_cycles)
+        tu.retire(exec_cycles)
+        tu.counters.flops += flops
+        regs.write_double(inst.rd, value)
+        self._set_ready(state, inst.rd, ready, pair=True)
+        state.pc += 1
+
+    # --- SPR ---------------------------------------------------------------
+    def _exec_spr(self, state: _ThreadState, inst: Instruction):
+        regs, tu = state.regs, state.tu
+        spr = self.chip.barrier_spr
+        if inst.opcode.name == "mtspr":
+            earliest = yield self._deps(state, inst.ra)
+            tu.issue_at(earliest)
+            tu.retire(1)
+            spr.write(tu.tid, regs.read(inst.ra) & 0xFF)
+        else:  # mfspr
+            earliest = yield tu.issue_time
+            tu.issue_at(earliest)
+            tu.retire(1)
+            regs.write(inst.rd, spr.read_or())
+            self._set_ready(state, inst.rd, tu.issue_time)
+        state.pc += 1
+
+    # --- system ---------------------------------------------------------------
+    def _exec_system(self, state: _ThreadState, inst: Instruction) -> None:
+        tu = state.tu
+        name = inst.opcode.name
+        if name == "halt":
+            tu.issue_at(tu.issue_time)
+            tu.retire(1)
+            tu.counters.finish_time = tu.issue_time
+            state.halted = True
+            return
+        if name == "tid":
+            tu.issue_at(tu.issue_time)
+            tu.retire(1)
+            state.regs.write(inst.rd, tu.tid)
+            self._set_ready(state, inst.rd, tu.issue_time)
+        elif name == "sync":
+            # Order earlier memory operations: wait for every register's
+            # pending value (a conservative fence).
+            earliest = max(state.ready)
+            tu.issue_at(earliest)
+            tu.retire(1)
+        else:  # nop
+            tu.retire(1)
+        state.pc += 1
+    # ------------------------------------------------------------------

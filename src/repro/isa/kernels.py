@@ -1,0 +1,80 @@
+"""Generated assembly kernels: STREAM at the ISA level.
+
+The cross-compiler substitute in action: :class:`~repro.isa.builder.Builder`
+emits the same vector loops the STREAM workload models — including the
+4-way unrolled variants — as real Cyclops assembly. Running them on the
+interpreter cross-validates the two execution layers: the per-element
+cycle costs of the direct-execution model and of the instruction-level
+model must agree closely, since both charge the same Table 2 machine.
+
+Register convention inside the generated loops:
+
+====  =======================================
+r4    source pointer (a or c)
+r5    second source pointer (add/triad)
+r6    destination pointer
+r7    remaining iteration count
+r10   scalar (triad/scale), as a double pair
+r12+  data pairs (r12, r14, r16, ... when unrolled)
+====  =======================================
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.isa.builder import Builder
+from repro.isa.program import Program
+
+#: Accumulator double-pairs available for unrolling.
+_DATA_REGS = [12, 16, 20, 24, 28, 32, 36, 40]
+_SECOND_REGS = [14, 18, 22, 26, 30, 34, 38, 42]
+
+
+def stream_kernel_program(kernel: str, unroll: int = 1) -> Program:
+    """Emit one STREAM kernel loop as assembly.
+
+    The loop processes ``unroll`` elements per iteration; the caller
+    must run it with a count divisible by the unroll factor.
+    """
+    if kernel not in ("copy", "scale", "add", "triad"):
+        raise WorkloadError(f"unknown STREAM kernel {kernel!r}")
+    if not 1 <= unroll <= len(_DATA_REGS):
+        raise WorkloadError(f"unroll {unroll} out of range")
+
+    b = Builder()
+    b.label("loop")
+    # Loads first (independent), then compute, then stores — the shape
+    # hand-unrolled STREAM takes so loads overlap their latencies.
+    for u in range(unroll):
+        b.ld(_DATA_REGS[u], 8 * u, base=4)
+        if kernel in ("add", "triad"):
+            b.ld(_SECOND_REGS[u], 8 * u, base=5)
+    for u in range(unroll):
+        if kernel == "scale":
+            b.fmul(_DATA_REGS[u], _DATA_REGS[u], 10)
+        elif kernel == "add":
+            b.fadd(_DATA_REGS[u], _DATA_REGS[u], _SECOND_REGS[u])
+        elif kernel == "triad":
+            # a[i] = b[i] + s*c[i]: accumulate s*c into the b pair.
+            b.fmadd(_DATA_REGS[u], 10, _SECOND_REGS[u])
+    for u in range(unroll):
+        b.sd(_DATA_REGS[u], 8 * u, base=6)
+    step = 8 * unroll
+    b.addi(4, 4, step)
+    if kernel in ("add", "triad"):
+        b.addi(5, 5, step)
+    b.addi(6, 6, step)
+    b.addi(7, 7, -unroll)
+    b.bne(7, 0, "loop")
+    b.halt()
+    return b.build()
+
+
+def stream_register_setup(kernel: str, src: int, src2: int, dst: int,
+                          count: int, scalar: float = 3.0):
+    """(init_regs, init_doubles) for :func:`stream_kernel_program`."""
+    init_regs = {4: src, 6: dst, 7: count}
+    if kernel in ("add", "triad"):
+        init_regs[5] = src2
+    init_doubles = {10: scalar} if kernel in ("scale", "triad") else {}
+    return init_regs, init_doubles

@@ -1,0 +1,163 @@
+"""Macro-assembler utilities: the idioms a compiler's runtime provides.
+
+The 13-bit immediates and 3-operand shape of the ISA leave common jobs
+to instruction sequences; this module emits them through a
+:class:`~repro.isa.builder.Builder`:
+
+* :func:`load_immediate` — materialize any 32-bit constant (``lui`` +
+  ``ori`` pairs, minimal for small values);
+* :func:`load_effective_address` — a full EA including the
+  interest-group byte;
+* :func:`emit_memcpy` / :func:`emit_memset` — word loops over memory;
+* :func:`emit_spin_lock_acquire` / ``release`` — the ``amoswap``
+  test-and-set idiom;
+* :func:`emit_barrier_wait` — the Section 2.3 SPR protocol, open-coded
+  (participate bit assumed set; flips current/next roles per call via
+  the caller-tracked phase).
+
+Each helper leaves the machine state documented and is covered by
+functional tests in ``tests/test_isa_macros.py``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblerError
+from repro.isa.builder import Builder
+
+_U32 = 0xFFFFFFFF
+
+
+def load_immediate(b: Builder, reg: int, value: int,
+                   scratch: int = 3) -> Builder:
+    """Materialize any 32-bit constant into *reg*.
+
+    Small values take one ``addi``; the general case builds the value
+    12 bits at a time (``addi``/``slli``/``or``) through *scratch* —
+    five instructions worst case, all immediates within 13 bits.
+    """
+    value &= _U32
+    if value < (1 << 12):  # addi's positive immediate range
+        return b.addi(reg, 0, value)
+    b.addi(reg, 0, value >> 24)
+    b.slli(reg, reg, 12)
+    middle = (value >> 12) & 0xFFF
+    if middle:
+        b.addi(scratch, 0, middle)
+        b.emit("or", rd=reg, ra=reg, rb=scratch)
+    b.slli(reg, reg, 12)
+    low = value & 0xFFF
+    if low:
+        b.addi(scratch, 0, low)
+        b.emit("or", rd=reg, ra=reg, rb=scratch)
+    return b
+
+
+def load_effective_address(b: Builder, reg: int, physical: int,
+                           ig_byte: int = 0, scratch: int = 3) -> Builder:
+    """Materialize a full 32-bit effective address into *reg*.
+
+    Composes the interest-group byte and a 24-bit physical address using
+    *scratch* as a temporary: ``lui``/``slli``/``ori`` sequences with
+    every immediate within 13 bits.
+    """
+    if not 0 <= physical < (1 << 24):
+        raise AssemblerError(f"physical {physical:#x} exceeds 24 bits")
+    if not 0 <= ig_byte <= 0xFF:
+        raise AssemblerError(f"interest group {ig_byte:#x} exceeds 8 bits")
+    # reg = ig_byte << 24 | physical, built 12 bits at a time:
+    # reg = ((((ig << 12) | phys[23:12]) << 12) | phys[11:0])
+    high12 = physical >> 12
+    low12 = physical & 0xFFF
+    b.addi(reg, 0, ig_byte)
+    b.slli(reg, reg, 12)
+    if high12:
+        load_small = high12  # < 4096, fits addi
+        b.addi(scratch, 0, load_small)
+        b.emit("or", rd=reg, ra=reg, rb=scratch)
+    b.slli(reg, reg, 12)
+    if low12:
+        b.addi(scratch, 0, low12)
+        b.emit("or", rd=reg, ra=reg, rb=scratch)
+    return b
+
+
+def emit_memcpy(b: Builder, dst_reg: int, src_reg: int, words_reg: int,
+                data_reg: int = 20, label_prefix: str = "memcpy") -> Builder:
+    """Word-at-a-time copy loop; clobbers the three pointer registers."""
+    loop = f"{label_prefix}_loop"
+    done = f"{label_prefix}_done"
+    b.label(loop)
+    b.beq(words_reg, 0, done)
+    b.lw(data_reg, 0, base=src_reg)
+    b.sw(data_reg, 0, base=dst_reg)
+    b.addi(src_reg, src_reg, 4)
+    b.addi(dst_reg, dst_reg, 4)
+    b.addi(words_reg, words_reg, -1)
+    b.j(loop)
+    b.label(done)
+    return b
+
+
+def emit_memset(b: Builder, dst_reg: int, value_reg: int, words_reg: int,
+                label_prefix: str = "memset") -> Builder:
+    """Word-at-a-time fill loop."""
+    loop = f"{label_prefix}_loop"
+    done = f"{label_prefix}_done"
+    b.label(loop)
+    b.beq(words_reg, 0, done)
+    b.sw(value_reg, 0, base=dst_reg)
+    b.addi(dst_reg, dst_reg, 4)
+    b.addi(words_reg, words_reg, -1)
+    b.j(loop)
+    b.label(done)
+    return b
+
+
+def emit_spin_lock_acquire(b: Builder, lock_reg: int, scratch: int = 21,
+                           one: int = 22,
+                           label_prefix: str = "lock") -> Builder:
+    """Test-and-set acquire: ``amoswap`` 1 in, spin while the old value
+    was nonzero."""
+    spin = f"{label_prefix}_spin"
+    b.addi(one, 0, 1)
+    b.label(spin)
+    b.amoswap(scratch, lock_reg, one)
+    b.bne(scratch, 0, spin)
+    return b
+
+
+def emit_spin_lock_release(b: Builder, lock_reg: int,
+                           zero: int = 23) -> Builder:
+    """Release: store zero (after a sync to order the critical section)."""
+    b.emit("sync")
+    b.addi(zero, 0, 0)
+    b.sw(zero, 0, base=lock_reg)
+    return b
+
+
+def emit_barrier_wait(b: Builder, phase: int, barrier_id: int = 0,
+                      scratch: int = 24, mask_reg: int = 25,
+                      label_prefix: str = "barrier") -> Builder:
+    """The Section 2.3 wired-OR protocol for one barrier episode.
+
+    *phase* (0 or 1) says which of the pair of bits is "current" for
+    this episode; the caller alternates it per use, exactly the
+    role-interchange the paper describes. Assumes this thread's current
+    bit is already set (initial ``participate`` or the previous
+    episode's arrive).
+    """
+    if phase not in (0, 1):
+        raise AssemblerError("phase must be 0 or 1")
+    base_bit = 2 * barrier_id
+    current = 1 << (base_bit + phase)
+    nxt = 1 << (base_bit + (1 - phase))
+    spin = f"{label_prefix}_spin"
+    # Arrive: one register write sets own SPR to the next-cycle bit only
+    # (atomically dropping the current bit), per the paper's protocol.
+    b.addi(mask_reg, 0, nxt)
+    b.mtspr(mask_reg, barrier_id)
+    b.label(spin)
+    b.mfspr(scratch, barrier_id)
+    b.emit("andi", rd=scratch, ra=scratch, imm=current)
+    b.bne(scratch, 0, spin)
+    return b

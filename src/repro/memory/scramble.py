@@ -1,0 +1,45 @@
+"""Deterministic address scrambling for multi-cache interest groups.
+
+When an interest group names a set of several caches, the hardware picks
+one member "utilizing a scrambling function so that all the caches are
+uniformly utilized. The function is completely deterministic and relies
+only on the address such that references to the same effective address get
+mapped to the same cache" (paper, Section 2.1).
+
+We use a Fibonacci-style multiplicative mix of the line index followed by
+an xor-fold. Two properties matter and are tested: determinism (pure
+function of the address) and uniformity (property-based test checks the
+spread over random address populations). A plain modulo would be
+deterministic too, but strided access patterns — exactly what STREAM
+produces — would then hammer a single cache; mixing decorrelates the pick
+from low-order address bits.
+"""
+
+from __future__ import annotations
+
+#: 64-bit golden-ratio multiplier (Knuth's multiplicative hashing).
+_GOLDEN = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def scramble64(value: int) -> int:
+    """Mix *value* into a 64-bit pseudo-random but deterministic word."""
+    v = (value * _GOLDEN) & _MASK64
+    v ^= v >> 29
+    v = (v * 0xBF58476D1CE4E5B9) & _MASK64
+    v ^= v >> 32
+    return v
+
+
+def scramble_pick(line_index: int, set_size: int) -> int:
+    """Pick a member in ``[0, set_size)`` for an address, deterministically.
+
+    *set_size* must be a power of two (interest-group sets always are), so
+    the pick is an exact slice of the mixed word and uniform by
+    construction.
+    """
+    if set_size <= 0 or set_size & (set_size - 1):
+        raise ValueError(f"set size {set_size} must be a positive power of two")
+    if set_size == 1:
+        return 0
+    return scramble64(line_index) & (set_size - 1)

@@ -1,0 +1,388 @@
+"""Composed memory subsystem: the access paths of Figure 2.
+
+Every data access resolves as follows:
+
+1. split the 32-bit effective address into interest-group byte and 24-bit
+   physical address; decode the interest group (Table 1 semantics);
+2. pick the one target cache for this line (the requester's own cache for
+   group OWN, the scrambling function for multi-member sets);
+3. reserve the target cache's 8 B/cycle port (this is where the cache
+   switch's bandwidth limit and inter-thread contention live);
+4. look up the tag array — a hit costs the Table 2 local (6) or remote
+   (17) latency depending on whether the target cache belongs to the
+   requesting quad;
+5. a miss adds the fill: the request travels to the line's memory bank,
+   queues behind other fills and writebacks, and transfers a 64-byte
+   burst. Unloaded, this lands exactly on Table 2's 24/36-cycle miss
+   latencies; under load the bank queueing delay adds on top, which is
+   what makes STREAM saturate at the banks' aggregate bandwidth.
+
+Store misses default to *write-validate* (allocate without fetching):
+DESIGN.md explains why fetch-on-store-miss is incompatible with the
+paper's ~peak sustained STREAM bandwidth. Dirty victims write back as
+bursts that occupy the victim's bank but do not block the requester (a
+write buffer), so writeback traffic correctly competes for bandwidth.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.config import ChipConfig
+from repro.engine.tracing import NULL_TRACER, Tracer
+from repro.errors import AddressError
+from repro.memory.address import AddressMap, line_address, split_effective
+from repro.memory.backing import BackingStore
+from repro.memory.bank import MemoryBank
+from repro.memory.cache import CacheUnit
+from repro.memory.interest_groups import InterestGroup
+from repro.memory.offchip import OffChipMemory
+from repro.memory.switch import CrossbarSwitch, build_cache_switch
+
+
+class AccessKind(Enum):
+    """Timing classification of one data access (Table 2 rows)."""
+
+    LOCAL_HIT = "local_hit"
+    LOCAL_MISS = "local_miss"
+    REMOTE_HIT = "remote_hit"
+    REMOTE_MISS = "remote_miss"
+    SCRATCHPAD = "scratchpad"
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Timing result of one access.
+
+    ``issue_end`` is when the thread's issue slot frees (execution column
+    of Table 2 plus any wait for the cache port); ``complete`` is when the
+    value is available to dependent instructions (latency column, plus
+    bank queueing on a miss).
+    """
+
+    issue_end: int
+    complete: int
+    kind: AccessKind
+    cache_id: int
+
+
+class MemorySubsystem:
+    """Banks + caches + switches + interest-group placement."""
+
+    def __init__(self, config: ChipConfig, strict_incoherence: bool = False,
+                 tracer: Tracer = NULL_TRACER) -> None:
+        self.config = config
+        self.strict = strict_incoherence
+        self.tracer = tracer
+        self.address_map = AddressMap(config)
+        self.backing = BackingStore(config.memory_bytes)
+        self.banks = [MemoryBank(i, config) for i in range(config.n_memory_banks)]
+        self.caches = [
+            CacheUnit(i, config, buffer_data=strict_incoherence)
+            for i in range(config.n_dcaches)
+        ]
+        self.cache_switch: CrossbarSwitch = build_cache_switch(config)
+        self.offchip = OffChipMemory(config)
+        self._ig_cache: dict[int, InterestGroup] = {}
+        self._line_shift = config.dcache_line_bytes.bit_length() - 1
+        #: In-flight line fills: (cache_id, line) -> completion time. A hit
+        #: on a line whose fill is still in flight waits for the fill —
+        #: the effect that penalizes the paper's cyclic partitioning,
+        #: where eight threads pile onto each line "while the cache line
+        #: is still being retrieved from main memory" (Section 3.2.2).
+        self._inflight: dict[tuple[int, int], int] = {}
+        # access-kind counters
+        self.kind_counts: dict[AccessKind, int] = {k: 0 for k in AccessKind}
+
+    # ------------------------------------------------------------------
+    # Interest-group resolution
+    # ------------------------------------------------------------------
+    def decode_group(self, ig_byte: int) -> InterestGroup:
+        """Decode (and memoize) an interest-group byte."""
+        group = self._ig_cache.get(ig_byte)
+        if group is None:
+            group = InterestGroup.decode(ig_byte)
+            self._ig_cache[ig_byte] = group
+        return group
+
+    def target_cache(self, ig_byte: int, physical: int, quad_id: int) -> int:
+        """The cache that holds *physical* under *ig_byte* for *quad_id*."""
+        group = self.decode_group(ig_byte)
+        return group.target_cache(
+            physical >> self._line_shift, self.config.n_dcaches, quad_id
+        )
+
+    # ------------------------------------------------------------------
+    # The main timed access path
+    # ------------------------------------------------------------------
+    def access(self, time: int, quad_id: int, effective: int, size: int,
+               is_store: bool) -> AccessOutcome:
+        """Timed load/store of *size* bytes at a 32-bit effective address."""
+        ig_byte, physical = split_effective(effective)
+        self.address_map.check(physical, size)
+        line = line_address(physical, self.config.dcache_line_bytes)
+        target = self.target_cache(ig_byte, physical, quad_id)
+        cache = self.caches[target]
+        local = target == quad_id
+
+        port_grant = self.cache_switch.transfer(target, time, size)
+        issue_end = port_grant + 1
+
+        fetch_on_miss = (not is_store) or self.config.store_miss_fetches_line \
+            or self.strict
+        result = cache.access(line, is_store)
+
+        latency = self.config.latency
+        if result.hit:
+            kind = AccessKind.LOCAL_HIT if local else AccessKind.REMOTE_HIT
+            _, extra = latency.mem_local_hit if local else latency.mem_remote_hit
+            complete = issue_end + extra
+            fill_key = (target, line)
+            fill_done = self._inflight.get(fill_key)
+            if fill_done is not None:
+                if issue_end < fill_done:
+                    # The line is still on its way from memory: the hit
+                    # delivers only once the fill lands.
+                    complete = fill_done + extra
+                else:
+                    del self._inflight[fill_key]
+        else:
+            kind = AccessKind.LOCAL_MISS if local else AccessKind.REMOTE_MISS
+            _, extra = latency.mem_local_miss if local else latency.mem_remote_miss
+            queue_delay = 0
+            if fetch_on_miss:
+                bank = self.banks[self.address_map.bank_of(line)]
+                done = bank.read_burst(issue_end)
+                queue_delay = done - issue_end - self.config.burst_cycles
+                if self.strict:
+                    self._fill_line_buffer(cache, line)
+            if result.victim_dirty and result.victim_line is not None:
+                self._write_back(issue_end, result.victim_line,
+                                 result.victim_data)
+            if is_store and not fetch_on_miss:
+                # Write-validate: the line is allocated dirty; the store
+                # itself completes as soon as it issues.
+                complete = issue_end
+            else:
+                complete = issue_end + extra + queue_delay
+                self._inflight[(target, line)] = complete
+        self.kind_counts[kind] += 1
+        if self.tracer.enabled:
+            self.tracer.emit(time, f"cache{target}", kind.value,
+                             f"phys={physical:#x} store={is_store}")
+        return AccessOutcome(issue_end, complete, kind, target)
+
+    def _write_back(self, time: int, victim_line: int,
+                    victim_data: bytes | None) -> None:
+        """Queue a dirty victim's burst write on its bank."""
+        bank = self.banks[self.address_map.bank_of(victim_line)]
+        bank.write_burst(time)
+        if victim_data is not None:
+            self.backing.write_block(victim_line, victim_data)
+
+    def _fill_line_buffer(self, cache: CacheUnit, line: int) -> None:
+        """Strict mode: copy the line's bytes from backing into the cache."""
+        state = cache.line(line)
+        if state is not None and state.data is not None:
+            state.data[:] = self.backing.read_block(
+                line, self.config.dcache_line_bytes
+            )
+
+    # ------------------------------------------------------------------
+    # Functional access (values)
+    # ------------------------------------------------------------------
+    def load_f64(self, time: int, quad_id: int, effective: int
+                 ) -> tuple[AccessOutcome, float]:
+        """Timed load of a double, returning its value."""
+        outcome = self.access(time, quad_id, effective, 8, is_store=False)
+        _, physical = split_effective(effective)
+        if self.strict:
+            value = self._strict_read(outcome.cache_id, physical, 8)
+        else:
+            value = self.backing.load_f64(physical)
+        return outcome, value
+
+    def store_f64(self, time: int, quad_id: int, effective: int,
+                  value: float) -> AccessOutcome:
+        """Timed store of a double."""
+        outcome = self.access(time, quad_id, effective, 8, is_store=True)
+        _, physical = split_effective(effective)
+        if self.strict:
+            self._strict_write(outcome.cache_id, physical, 8, value=value)
+        else:
+            self.backing.store_f64(physical, value)
+        return outcome
+
+    def load_u32(self, time: int, quad_id: int, effective: int
+                 ) -> tuple[AccessOutcome, int]:
+        """Timed load of a 32-bit word."""
+        outcome = self.access(time, quad_id, effective, 4, is_store=False)
+        _, physical = split_effective(effective)
+        if self.strict:
+            word = self._strict_read(outcome.cache_id, physical, 4)
+        else:
+            word = self.backing.load_u32(physical)
+        return outcome, word
+
+    def store_u32(self, time: int, quad_id: int, effective: int,
+                  value: int) -> AccessOutcome:
+        """Timed store of a 32-bit word."""
+        outcome = self.access(time, quad_id, effective, 4, is_store=True)
+        _, physical = split_effective(effective)
+        if self.strict:
+            self._strict_write(outcome.cache_id, physical, 4, word=value)
+        else:
+            self.backing.store_u32(physical, value)
+        return outcome
+
+    def atomic_rmw_u32(self, time: int, quad_id: int, effective: int,
+                       op: str, operand: int) -> tuple[AccessOutcome, int]:
+        """Atomic read-modify-write; returns the *old* value.
+
+        Supported ops: ``add``, ``swap``, ``and``, ``or``. The engine
+        serializes all shared-state operations in time order, so the RMW
+        is atomic by construction; timing is a store-classified access
+        (the line must be owned to modify it).
+        """
+        outcome = self.access(time, quad_id, effective, 4, is_store=True)
+        _, physical = split_effective(effective)
+        old = self.backing.load_u32(physical)
+        if op == "add":
+            new = (old + operand) & 0xFFFFFFFF
+        elif op == "swap":
+            new = operand & 0xFFFFFFFF
+        elif op == "and":
+            new = old & operand
+        elif op == "or":
+            new = old | operand
+        else:
+            raise AddressError(f"unknown atomic op {op!r}")
+        self.backing.store_u32(physical, new)
+        return outcome, old
+
+    # ------------------------------------------------------------------
+    # Strict-incoherence data movement
+    # ------------------------------------------------------------------
+    def _strict_read(self, cache_id: int, physical: int, size: int) -> float | int:
+        line = line_address(physical, self.config.dcache_line_bytes)
+        state = self.caches[cache_id].line(line)
+        offset = physical - line
+        if state is None or state.data is None:
+            raw = self.backing.read_block(physical, size)
+        else:
+            raw = bytes(state.data[offset:offset + size])
+        if size == 8:
+            return struct.unpack("<d", raw)[0]
+        return struct.unpack("<I", raw)[0]
+
+    def _strict_write(self, cache_id: int, physical: int, size: int,
+                      value: float = 0.0, word: int = 0) -> None:
+        line = line_address(physical, self.config.dcache_line_bytes)
+        state = self.caches[cache_id].line(line)
+        raw = struct.pack("<d", value) if size == 8 else struct.pack("<I", word)
+        if state is not None and state.data is not None:
+            offset = physical - line
+            state.data[offset:offset + size] = raw
+        else:
+            self.backing.write_block(physical, raw)
+
+    def flush_cache(self, cache_id: int) -> int:
+        """Software flush: write dirty lines back; returns #writebacks.
+
+        Host-side (untimed) variant used between runs; the timed
+        per-line operations are :meth:`flush_line` and
+        :meth:`invalidate_line`.
+        """
+        dirty = self.caches[cache_id].flush()
+        for addr, state in dirty:
+            if state.data is not None:
+                self.backing.write_block(addr, bytes(state.data))
+        return len(dirty)
+
+    def flush_line(self, time: int, quad_id: int,
+                   effective: int) -> AccessOutcome:
+        """Timed line flush (the `dcbf` idiom): write back and drop.
+
+        Costs a port access plus the hit latency; a dirty line also
+        bursts onto its bank. This is the software-coherence primitive
+        the paper's OWN-group discipline requires.
+        """
+        ig_byte, physical = split_effective(effective)
+        line = line_address(physical, self.config.dcache_line_bytes)
+        target = self.target_cache(ig_byte, physical, quad_id)
+        cache = self.caches[target]
+        local = target == quad_id
+        port_grant = self.cache_switch.transfer(target, time, 8)
+        issue_end = port_grant + 1
+        row = self.config.latency.mem_local_hit if local \
+            else self.config.latency.mem_remote_hit
+        complete = issue_end + row[1]
+        state = cache.invalidate(line)
+        if state is not None and state.dirty:
+            bank = self.banks[self.address_map.bank_of(line)]
+            done = bank.write_burst(complete)
+            if state.data is not None:
+                self.backing.write_block(line, bytes(state.data))
+            complete = done
+        kind = AccessKind.LOCAL_HIT if local else AccessKind.REMOTE_HIT
+        return AccessOutcome(issue_end, complete, kind, target)
+
+    def invalidate_line(self, time: int, quad_id: int,
+                        effective: int) -> AccessOutcome:
+        """Timed line invalidate (drop without writeback): `dcbi`.
+
+        The reader-side half of the software-coherence protocol; any
+        dirty data in the line is *discarded*, as on real hardware.
+        """
+        ig_byte, physical = split_effective(effective)
+        line = line_address(physical, self.config.dcache_line_bytes)
+        target = self.target_cache(ig_byte, physical, quad_id)
+        local = target == quad_id
+        port_grant = self.cache_switch.transfer(target, time, 8)
+        issue_end = port_grant + 1
+        row = self.config.latency.mem_local_hit if local \
+            else self.config.latency.mem_remote_hit
+        self.caches[target].invalidate(line)
+        kind = AccessKind.LOCAL_HIT if local else AccessKind.REMOTE_HIT
+        return AccessOutcome(issue_end, issue_end + row[1], kind, target)
+
+    # ------------------------------------------------------------------
+    # Scratchpad (partitioned fast memory)
+    # ------------------------------------------------------------------
+    def scratchpad_access(self, time: int, quad_id: int, cache_id: int,
+                          size: int) -> AccessOutcome:
+        """Timed access to a cache's scratchpad region (local-hit cost)."""
+        port_grant = self.cache_switch.transfer(cache_id, time, size)
+        issue_end = port_grant + 1
+        local = cache_id == quad_id
+        row = self.config.latency.mem_local_hit if local \
+            else self.config.latency.mem_remote_hit
+        self.kind_counts[AccessKind.SCRATCHPAD] += 1
+        return AccessOutcome(issue_end, issue_end + row[1],
+                             AccessKind.SCRATCHPAD, cache_id)
+
+    # ------------------------------------------------------------------
+    # Statistics & reset
+    # ------------------------------------------------------------------
+    @property
+    def memory_traffic_bytes(self) -> int:
+        """Total bytes moved in/out of the embedded banks."""
+        return sum(bank.bytes_total for bank in self.banks)
+
+    def reset_timing(self) -> None:
+        """Clear all busy timelines and counters; keep tags and data."""
+        for bank in self.banks:
+            bank.reset_counters()
+        for cache in self.caches:
+            cache.reset_counters()
+        self.cache_switch.reset()
+        self.offchip.engine.reset()
+        self._inflight.clear()
+        self.kind_counts = {k: 0 for k in AccessKind}
+
+    def cold_caches(self) -> None:
+        """Drop every cached line (cold-start between experiments)."""
+        for cache_id in range(len(self.caches)):
+            self.flush_cache(cache_id)

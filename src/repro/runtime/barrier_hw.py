@@ -1,0 +1,89 @@
+"""The fast inter-thread hardware barrier (Section 2.3 + Figure 7).
+
+Timing model, following the paper's protocol exactly:
+
+* on arrival a thread executes one SPR write (a single one-cycle
+  instruction that atomically clears its current-cycle bit and sets its
+  next-cycle bit) — this never touches memory or any shared port;
+* it then spins reading the wired-OR value of all SPRs; reads are of the
+  thread's own register path, so "there is no contention for other chip
+  resources and all threads run at full speed";
+* the OR of the current bit drops to zero one cycle after the last
+  participant's write; each spinning thread observes it with its next
+  read and proceeds.
+
+The wait between arrival and release is accounted as *stall* cycles
+(threads are "stalled for resources"), which is how Figure 7's run/stall
+decomposition sees barriers.
+"""
+
+from __future__ import annotations
+
+from repro.engine.events import Waiter
+from repro.engine.scheduler import BLOCK
+from repro.errors import BarrierError
+
+
+class HardwareBarrier:
+    """One of the chip's 4 wired-OR barriers, bound to its participants."""
+
+    def __init__(self, kernel, barrier_id: int, n_participants: int) -> None:
+        if n_participants <= 0:
+            raise BarrierError("a barrier needs at least one participant")
+        self.kernel = kernel
+        self.spr = kernel.chip.barrier_spr
+        if not 0 <= barrier_id < self.spr.n_barriers:
+            raise BarrierError(
+                f"barrier id {barrier_id} out of range "
+                f"(chip provides {self.spr.n_barriers})"
+            )
+        self.barrier_id = barrier_id
+        self.n_participants = n_participants
+        self._arrived = 0
+        self._waiters = Waiter()
+        self._registered: set[int] = set()
+        self.episodes = 0
+
+    # ------------------------------------------------------------------
+    def register(self, tid: int) -> None:
+        """Set a participant's current-cycle bit (boot-time setup)."""
+        if tid in self._registered:
+            return
+        if len(self._registered) >= self.n_participants:
+            raise BarrierError("more registrations than participants")
+        self.spr.participate(tid, self.barrier_id)
+        self._registered.add(tid)
+
+    def wait(self, ctx):
+        """Generator: synchronize *ctx*'s thread with the other participants."""
+        tu = ctx.tu
+        if ctx.tid not in self._registered:
+            self.register(ctx.tid)
+        # Synchronize with global order, then perform the arrival write.
+        earliest = yield tu.issue_time
+        tu.issue_at(earliest)
+        tu.retire(1)
+        self.spr.arrive(ctx.tid, self.barrier_id)
+        self._arrived += 1
+        tu.counters.barriers += 1
+        if self._arrived == self.n_participants:
+            if not self.spr.current_clear(self.barrier_id):
+                raise BarrierError(
+                    "wired-OR current bit still set after all arrivals"
+                )
+            # The OR drops one cycle after the last write; spinners see it
+            # on their next read.
+            release = tu.issue_time + 1
+            self.spr.advance_phase(self.barrier_id)
+            self._arrived = 0
+            self.episodes += 1
+            for waiting_ctx in self._waiters.wake_all():
+                self.kernel.scheduler.wake(waiting_ctx.process, release)
+            tu.spin_to(release)
+            tu.retire(1)  # the last thread's own successful read
+            return release
+        self._waiters.park(ctx)
+        release = yield BLOCK
+        tu.spin_to(release)
+        tu.retire(1)  # the successful spin read
+        return release

@@ -1,0 +1,74 @@
+"""Single-address-space memory allocation.
+
+There is no paging and no virtualization: the kernel hands out physical
+addresses directly. A bump (arena) allocator matches the paper's runtime
+model — applications allocate their vectors once at startup and the whole
+arena is recycled between runs ("fast thread creation and reuse").
+
+Alignment matters here more than in a conventional malloc: the STREAM
+experiments explicitly avoid false sharing "by making the block sizes
+multiples of cache lines and aligning the blocks to cache line
+boundaries", so :meth:`BumpHeap.alloc` aligns to the cache line by
+default.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AllocationError
+
+
+class BumpHeap:
+    """A bump allocator over ``[base, base + size)`` physical bytes."""
+
+    def __init__(self, base: int, size: int, default_align: int = 64) -> None:
+        if base < 0 or size <= 0:
+            raise AllocationError("heap region must be non-empty")
+        self.base = base
+        self.size = size
+        self.default_align = default_align
+        self._next = base
+
+    # ------------------------------------------------------------------
+    @property
+    def limit(self) -> int:
+        """One past the last heap byte."""
+        return self.base + self.size
+
+    @property
+    def used(self) -> int:
+        """Bytes consumed (including alignment padding)."""
+        return self._next - self.base
+
+    @property
+    def available(self) -> int:
+        """Bytes remaining."""
+        return self.limit - self._next
+
+    # ------------------------------------------------------------------
+    def alloc(self, n_bytes: int, align: int | None = None) -> int:
+        """Allocate *n_bytes*; returns the physical base address."""
+        if n_bytes < 0:
+            raise AllocationError(f"negative allocation {n_bytes}")
+        align = self.default_align if align is None else align
+        if align <= 0 or align & (align - 1):
+            raise AllocationError(f"alignment {align} must be a power of two")
+        start = (self._next + align - 1) & ~(align - 1)
+        if start + n_bytes > self.limit:
+            raise AllocationError(
+                f"out of memory: need {n_bytes} bytes, "
+                f"{self.limit - start} left (of {self.size})"
+            )
+        self._next = start + n_bytes
+        return start
+
+    def alloc_f64_array(self, count: int, align: int | None = None) -> int:
+        """Allocate *count* doubles; returns the base physical address."""
+        return self.alloc(8 * count, align)
+
+    def alloc_u32_array(self, count: int, align: int | None = None) -> int:
+        """Allocate *count* 32-bit words."""
+        return self.alloc(4 * count, align)
+
+    def reset(self) -> None:
+        """Free everything at once (arena recycling between runs)."""
+        self._next = self.base

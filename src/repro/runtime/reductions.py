@@ -1,0 +1,61 @@
+"""Parallel reductions over shared memory.
+
+A combining-tree sum in the style of the software barrier: each thread
+deposits its partial value in its own cache line, then the tree combines
+pairwise upward with the hardware barrier separating rounds. All
+partials move through real timed loads/stores, so a reduction's cost
+scales like the paper's other synchronization structures
+(log2(n) rounds of remote traffic).
+"""
+
+from __future__ import annotations
+
+from repro.errors import BarrierError
+from repro.memory.address import make_effective
+from repro.memory.interest_groups import IG_ALL
+
+
+class TreeReduction:
+    """A reusable tree-sum over *n* participants."""
+
+    def __init__(self, kernel, n_participants: int,
+                 ig_byte: int = IG_ALL, barrier_id: int = 1) -> None:
+        if n_participants <= 0:
+            raise BarrierError("a reduction needs at least one participant")
+        self.kernel = kernel
+        self.n = n_participants
+        self.ig = ig_byte
+        line = kernel.chip.config.dcache_line_bytes
+        self._slots = kernel.heap.alloc(n_participants * line, align=line)
+        self._line = line
+        self.barrier = kernel.hardware_barrier(barrier_id, n_participants)
+        #: Host mirror of the deposited values (doubles).
+        self._values = [0.0] * n_participants
+
+    def _slot_ea(self, node: int) -> int:
+        return make_effective(self._slots + node * self._line, self.ig)
+
+    def reduce(self, ctx, value: float):
+        """Generator: contribute *value*; every thread returns the sum."""
+        node = ctx.software_index
+        if not 0 <= node < self.n:
+            raise BarrierError(f"node {node} outside reduction of size "
+                               f"{self.n}")
+        self._values[node] = value
+        yield from ctx.store_f64(self._slot_ea(node), value)
+        yield from self.barrier.wait(ctx)
+        stride = 1
+        while stride < self.n:
+            if node % (2 * stride) == 0 and node + stride < self.n:
+                ta, a = yield from ctx.load_f64(self._slot_ea(node))
+                tb, b = yield from ctx.load_f64(self._slot_ea(node + stride))
+                ts = yield from ctx.fp_add(deps=(ta, tb))
+                total = self._values[node] + self._values[node + stride]
+                self._values[node] = total
+                yield from ctx.store_f64(self._slot_ea(node), total,
+                                         deps=(ts,))
+            yield from self.barrier.wait(ctx)
+            stride *= 2
+        # Everyone reads the root's total.
+        t, result = yield from ctx.load_f64(self._slot_ea(0))
+        return result

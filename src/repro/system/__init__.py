@@ -1,0 +1,31 @@
+"""Multi-chip cellular systems (Section 2.2 of the paper).
+
+"The Cyclops chip provides six input and six output links. These links
+allow a chip to be directly connected in a three dimensional topology
+(mesh or torus). The links are 16-bit wide and operate at 500 MHz,
+giving a maximum I/O bandwidth of 12 GB/s. In addition, a seventh link
+can be used to connect to a host computer. These links can be used to
+build larger systems without additional hardware."
+
+The paper explicitly does not evaluate multi-chip systems ("this is not
+the focus of this paper"), so this package is an *extension*: it builds
+the cellular fabric the chip was designed for — a 3-D mesh or torus of
+:class:`~repro.core.chip.Chip` cells with dimension-ordered routing over
+busy-timeline links — and provides a halo-exchange workload that shows
+weak scaling across cells.
+"""
+
+from repro.system.collectives import all_reduce_sum, broadcast
+from repro.system.links import ChipLink, LinkFabric
+from repro.system.multichip import MultiChipSystem
+from repro.system.topology import Topology, TorusTopology
+
+__all__ = [
+    "ChipLink",
+    "LinkFabric",
+    "MultiChipSystem",
+    "Topology",
+    "TorusTopology",
+    "all_reduce_sum",
+    "broadcast",
+]

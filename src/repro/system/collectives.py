@@ -1,0 +1,96 @@
+"""Collective operations across cells (extension).
+
+System-scale applications need more than point-to-point halos; this
+module provides the two collectives the paper's application classes
+lean on, built from the link fabric's messages:
+
+* :func:`broadcast` — pipeline forwarding from a root cell along the
+  linear cell order: every cell receives from its predecessor and
+  forwards to its successor, so each link carries the payload exactly
+  once (the optimal schedule for a store-and-forward chain);
+* :func:`all_reduce` — recursive-doubling sum over the linear cell
+  index: log2(n) rounds of pairwise exchange and local addition.
+
+Both operate on a contiguous span of doubles in each cell's embedded
+memory and are exercised at the workload level by
+``tests/test_collectives.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.system.multichip import MultiChipSystem
+from repro.system.topology import Coord
+
+
+def _chain_of(system: MultiChipSystem) -> list[Coord]:
+    """Cells in linear-index order (the rank ordering both collectives use)."""
+    topo = system.topology
+    return [topo.coord(i) for i in range(topo.n_chips)]
+
+
+def broadcast(system: MultiChipSystem, root: Coord, physical: int,
+              n_bytes: int):
+    """Spawn one controller thread per cell to broadcast root's buffer.
+
+    Pipeline forwarding over the linear ordering rooted at *root*: cell
+    k receives from cell k-1 and immediately forwards to cell k+1, so
+    every link moves the payload once and transfers overlap down the
+    chain. Returns the spawned threads; run the system afterwards.
+    """
+    chain = _chain_of(system)
+    ranks = {coord: i for i, coord in enumerate(chain)}
+    n = len(chain)
+    root_rank = ranks[root]
+
+    def body(ctx, coord):
+        me = (ranks[coord] - root_rank) % n
+        if me > 0:
+            yield from system.receive(ctx, physical)
+        if me + 1 < n:
+            successor = chain[(me + 1 + root_rank) % n]
+            yield from system.send(ctx, successor, physical, n_bytes)
+        return True
+
+    return [system.spawn_on(coord, body, coord, name=f"bcast-{coord}")
+            for coord in chain]
+
+
+def all_reduce_sum(system: MultiChipSystem, physical: int, count: int):
+    """Recursive-doubling sum of *count* doubles across all cells.
+
+    Every cell ends with the element-wise sum in place. Requires a
+    power-of-two cell count. Returns the spawned controller threads.
+    """
+    chain = _chain_of(system)
+    n = len(chain)
+    if n & (n - 1):
+        raise WorkloadError("all_reduce needs a power-of-two cell count")
+    ranks = {coord: i for i, coord in enumerate(chain)}
+    n_bytes = 8 * count
+    # A scratch area right behind the live buffer for incoming payloads.
+    scratch = physical + n_bytes
+
+    def body(ctx, coord):
+        me = ranks[coord]
+        chip = system.chip_at(coord)
+        distance = 1
+        while distance < n:
+            partner = chain[me ^ distance]
+            yield from system.send(ctx, partner, physical, n_bytes)
+            yield from system.receive(ctx, scratch, from_coord=partner)
+            # Element-wise accumulate: timed loads/FMA/stores.
+            for i in range(count):
+                ta, a = yield from ctx.load_f64(ctx.ea(physical + 8 * i))
+                tb, b = yield from ctx.load_f64(ctx.ea(scratch + 8 * i))
+                ts = yield from ctx.fp_add(deps=(ta, tb))
+                yield from ctx.store_f64(ctx.ea(physical + 8 * i), a + b,
+                                         deps=(ts,))
+            distance *= 2
+        view = chip.memory.backing.f64_view(physical, count)
+        return np.array(view)
+
+    return [system.spawn_on(coord, body, coord, name=f"allred-{coord}")
+            for coord in chain]

@@ -1,0 +1,162 @@
+"""Halo exchange across cells: the canonical cellular-system workload.
+
+Each cell owns a band of a global 1-D grid (stored in its own embedded
+DRAM) and repeatedly (1) relaxes its band with a 3-point stencil using a
+team of local threads and the on-chip hardware barrier, then (2)
+exchanges boundary elements with its ±x neighbours over the inter-chip
+links. This is exactly the communication pattern the paper's
+target applications (molecular dynamics, linear algebra) use at system
+scale, and it weak-scales: the per-cell work is constant while the
+system grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ChipConfig
+from repro.errors import WorkloadError
+from repro.runtime.kernel import AllocationPolicy
+from repro.system.multichip import MultiChipSystem
+from repro.system.topology import Topology
+from repro.workloads.common import TimedSection, block_ranges
+
+
+@dataclass(frozen=True)
+class HaloParams:
+    """One halo-exchange experiment point."""
+
+    n_chips: int = 2
+    band_elements: int = 512     # grid elements per cell
+    iterations: int = 3
+    threads_per_chip: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_chips < 1:
+            raise WorkloadError("need at least one cell")
+        if self.band_elements < 4:
+            raise WorkloadError("band too small for a stencil")
+
+
+@dataclass
+class HaloResult:
+    """Measured outcome of one halo-exchange run."""
+
+    params: HaloParams
+    cycles: int
+    link_bytes: int
+    verified: bool
+
+
+def _cell_body(ctx, system: MultiChipSystem, coord, params: HaloParams,
+               layout, barrier, me: int, section: TimedSection):
+    """One thread of one cell; thread 0 additionally runs the exchange."""
+    base, n = layout["base"], params.band_elements
+    chip = system.chip_at(coord)
+    left = system.topology.step(coord, "-x")
+    right = system.topology.step(coord, "+x")
+    rows = layout["ranges"][me]
+
+    def ea(i: int) -> int:
+        return ctx.ea(base + 8 * i)
+
+    if me == 0:
+        section.record_start(system.topology.index(coord), ctx.time)
+    for _ in range(params.iterations):
+        # Local 3-point Jacobi sweep over this thread's slice, reading
+        # the previous values buffer and writing the next.
+        src, dst = layout["src"], layout["dst"]
+        for i in rows:
+            tl, vl = yield from ctx.load_f64(ctx.ea(src + 8 * (i - 1)))
+            tc, vc = yield from ctx.load_f64(ctx.ea(src + 8 * i))
+            tr, vr = yield from ctx.load_f64(ctx.ea(src + 8 * (i + 1)))
+            t1 = yield from ctx.fp_add(deps=(tl, tr))
+            t2 = yield from ctx.fp_fma(deps=(t1, tc))
+            new = 0.25 * vl + 0.5 * vc + 0.25 * vr
+            yield from ctx.store_f64(ctx.ea(dst + 8 * i), new, deps=(t2,))
+            ctx.charge_ops(2)
+            ctx.branch()
+        yield from barrier.wait(ctx)
+        if me == 0:
+            layout["src"], layout["dst"] = layout["dst"], layout["src"]
+            # Exchange boundary elements with the neighbours.
+            src = layout["src"]
+            if right is not None:
+                yield from system.send(ctx, right, src + 8 * n, 8)
+            if left is not None:
+                yield from system.send(ctx, left, src + 8 * 1, 8)
+            if left is not None:
+                yield from system.receive(ctx, src + 8 * 0,
+                                          from_coord=left)
+            if right is not None:
+                yield from system.receive(ctx, src + 8 * (n + 1),
+                                          from_coord=right)
+        yield from barrier.wait(ctx)
+    if me == 0:
+        section.record_finish(system.topology.index(coord), ctx.time)
+
+
+def _reference(global_grid: np.ndarray, iterations: int) -> np.ndarray:
+    grid = global_grid.copy()
+    for _ in range(iterations):
+        nxt = grid.copy()
+        nxt[1:-1] = 0.25 * grid[:-2] + 0.5 * grid[1:-1] + 0.25 * grid[2:]
+        grid = nxt
+    return grid
+
+
+def run_halo(params: HaloParams,
+             config: ChipConfig | None = None) -> HaloResult:
+    """Run the halo exchange over a 1-D chain of cells."""
+    topology = Topology(params.n_chips, 1, 1)
+    system = MultiChipSystem(topology, config,
+                             policy=AllocationPolicy.BALANCED)
+    n = params.band_elements
+    rng = np.random.default_rng(seed=67)
+    global_grid = rng.standard_normal(params.n_chips * n + 2)
+    global_grid[0] = global_grid[-1] = 0.0
+
+    section = TimedSection.empty()
+    layouts = []
+    for c in range(params.n_chips):
+        coord = topology.coord(c)
+        kernel = system.kernel_at(coord)
+        # Two buffers with one halo element on each side.
+        src = kernel.heap.alloc_f64_array(n + 2)
+        dst = kernel.heap.alloc_f64_array(n + 2)
+        view = system.chip_at(coord).memory.backing.f64_view(src, n + 2)
+        view[:] = global_grid[c * n:c * n + n + 2]
+        interior = block_ranges(n, params.threads_per_chip)
+        layout = {
+            "base": src, "src": src, "dst": dst,
+            "ranges": [range(r.start + 1, r.stop + 1) for r in interior],
+        }
+        layouts.append(layout)
+        barrier = kernel.hardware_barrier(0, params.threads_per_chip)
+        for t in range(params.threads_per_chip):
+            system.spawn_on(coord, _cell_body, system, coord, params,
+                            layout, barrier, t, section,
+                            name=f"halo-{c}-{t}")
+    cycles = system.run()
+
+    # Verify against the global reference sweep. With an odd number of
+    # iterations the halo copies trail the interior by design (exchange
+    # happens after the sweep), so compare interiors only after aligning:
+    # every cell's interior must equal the reference at `iterations`.
+    expected = _reference(global_grid, params.iterations)
+    verified = True
+    for c in range(params.n_chips):
+        coord = topology.coord(c)
+        src = layouts[c]["src"]
+        view = system.chip_at(coord).memory.backing.f64_view(src, n + 2)
+        interior_ok = np.allclose(view[1:-1],
+                                  expected[c * n + 1:c * n + n + 1])
+        verified = verified and bool(interior_ok)
+    return HaloResult(
+        params=params,
+        cycles=section.elapsed,
+        link_bytes=system.fabric.total_bytes,
+        verified=verified,
+    )

@@ -1,0 +1,165 @@
+"""Multi-chip Cyclops systems: the cellular approach.
+
+"Large, scalable systems can be built with a cellular approach using the
+Cyclops chip as a building block. The chip is viewed as a cell that can
+be replicated as many times as necessary, with the cells interconnected
+in a regular pattern through communication links provided in each chip."
+
+:class:`MultiChipSystem` instantiates one full :class:`Chip` (and one
+resident kernel) per cell plus the link fabric between them, and runs a
+distributed workload: per-cell thread programs that compute locally and
+exchange messages over the links. Messages are memory-to-memory — the
+payload is read from the sender's embedded DRAM and lands in the
+receiver's, charged on every link of the route.
+
+Cells simulate under one global scheduler, so cross-chip timing is
+exact with respect to the link model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import ChipConfig
+from repro.core.chip import Chip
+from repro.engine.scheduler import BLOCK
+from repro.engine.events import Waiter
+from repro.errors import ConfigError
+from repro.runtime.kernel import AllocationPolicy, Kernel
+from repro.system.links import LinkFabric
+from repro.system.topology import Coord, Topology
+
+
+class _Mailbox:
+    """Per-chip arrival queue for link messages."""
+
+    def __init__(self) -> None:
+        self.messages: list[tuple[int, Coord, bytes]] = []
+        self.waiters = Waiter()
+
+
+class MultiChipSystem:
+    """A mesh/torus of Cyclops cells sharing one simulation clock."""
+
+    def __init__(self, topology: Topology,
+                 config: ChipConfig | None = None,
+                 policy: AllocationPolicy = AllocationPolicy.SEQUENTIAL,
+                 routing: str = "store_and_forward") -> None:
+        self.topology = topology
+        self.config = config or ChipConfig.paper()
+        self.chips = [Chip(self.config) for _ in range(topology.n_chips)]
+        self.fabric = LinkFabric(topology, self.config, routing=routing)
+        # One kernel per cell, all sharing the first kernel's scheduler
+        # so that the whole system advances on one clock.
+        self.kernels: list[Kernel] = []
+        shared_scheduler = None
+        for chip in self.chips:
+            kernel = Kernel(chip, policy)
+            if shared_scheduler is None:
+                shared_scheduler = kernel.scheduler
+            else:
+                kernel.scheduler = shared_scheduler
+            self.kernels.append(kernel)
+        self.scheduler = shared_scheduler
+        self._mailboxes = {
+            topology.coord(i): _Mailbox() for i in range(topology.n_chips)
+        }
+
+    # ------------------------------------------------------------------
+    def kernel_at(self, coord: Coord) -> Kernel:
+        """The resident kernel of the cell at *coord*."""
+        return self.kernels[self.topology.index(coord)]
+
+    def chip_at(self, coord: Coord) -> Chip:
+        """The chip at *coord*."""
+        return self.chips[self.topology.index(coord)]
+
+    # ------------------------------------------------------------------
+    # Message passing between cells
+    # ------------------------------------------------------------------
+    def send(self, ctx, dst: Coord, physical: int, n_bytes: int):
+        """Generator: send *n_bytes* from this cell's memory to *dst*.
+
+        The payload is read out of the sender's embedded DRAM (bulk, via
+        the communication interface — the thread only pays the send
+        setup), routed over the fabric, and enqueued at the destination
+        mailbox with its arrival time.
+        """
+        src = self._coord_of_ctx(ctx)
+        start = yield ctx.tu.issue_time
+        ctx.tu.issue_at(start)
+        ctx.tu.retire(1)  # the send instruction
+        payload = self.chip_at(src).memory.backing.read_block(
+            physical, n_bytes)
+        arrival = self.fabric.send(start, src, dst, n_bytes)
+        mailbox = self._mailboxes[dst]
+        mailbox.messages.append((arrival, src, payload))
+        for waiting in mailbox.waiters.wake_all():
+            self.scheduler.wake(waiting.process,
+                                max(arrival, self.scheduler.now))
+        return arrival
+
+    def receive(self, ctx, physical: int, from_coord: Coord | None = None):
+        """Generator: block until a message arrives; returns (src, size).
+
+        The payload is written into this cell's memory at *physical*.
+        With *from_coord* only messages from that cell match (needed when
+        exchanges with several neighbours are in flight at once).
+        """
+        coord = self._coord_of_ctx(ctx)
+        mailbox = self._mailboxes[coord]
+        while True:
+            now = yield ctx.tu.issue_time
+            matching = [m for m in mailbox.messages
+                        if from_coord is None or m[1] == from_coord]
+            ready = [m for m in matching if m[0] <= now]
+            if ready:
+                arrival, src, payload = ready[0]
+                mailbox.messages.remove(ready[0])
+                self.chip_at(coord).memory.backing.write_block(
+                    physical, payload)
+                ctx.tu.issue_at(max(now, arrival))
+                ctx.tu.retire(1)
+                return src, len(payload)
+            if matching:
+                # The matching message is in flight: wait for it to land.
+                ctx.tu.issue_at(min(m[0] for m in matching))
+                continue
+            mailbox.waiters.park(ctx)
+            woke = yield BLOCK
+            ctx.tu.issue_at(woke)
+
+    def host_load(self, time: int, coord: Coord, physical: int,
+                  data: bytes) -> int:
+        """Stage *data* from the host into a cell over its seventh link.
+
+        Returns the completion time. This is how input data sets reach a
+        cellular system before the computation starts.
+        """
+        arrival = self.fabric.host_links[coord].transfer(time, len(data))
+        self.chip_at(coord).memory.backing.write_block(physical, data)
+        return arrival
+
+    def host_store(self, time: int, coord: Coord, physical: int,
+                   n_bytes: int) -> tuple[int, bytes]:
+        """Retrieve results from a cell over its host link."""
+        arrival = self.fabric.host_links[coord].transfer(time, n_bytes)
+        data = self.chip_at(coord).memory.backing.read_block(
+            physical, n_bytes)
+        return arrival, data
+
+    def _coord_of_ctx(self, ctx) -> Coord:
+        for i, kernel in enumerate(self.kernels):
+            if ctx.kernel is kernel:
+                return self.topology.coord(i)
+        raise ConfigError("context does not belong to any cell")
+
+    # ------------------------------------------------------------------
+    def spawn_on(self, coord: Coord, body: Callable, *args,
+                 name: str = ""):
+        """Spawn a software thread on the cell at *coord*."""
+        return self.kernel_at(coord).spawn(body, *args, name=name)
+
+    def run(self, until: int | None = None) -> int:
+        """Run the whole system to quiescence."""
+        return self.scheduler.run(until)

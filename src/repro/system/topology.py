@@ -1,0 +1,120 @@
+"""3-D mesh and torus topologies over chip cells.
+
+Chips sit at integer coordinates of an ``nx x ny x nz`` grid; each has
+up to six neighbours (the six link pairs). A mesh truncates at the
+faces; a torus wraps. Routing is dimension-ordered (X, then Y, then Z),
+the standard deadlock-free choice for such fabrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+Coord = tuple[int, int, int]
+
+#: The six link directions, in routing order.
+DIRECTIONS: dict[str, Coord] = {
+    "+x": (1, 0, 0), "-x": (-1, 0, 0),
+    "+y": (0, 1, 0), "-y": (0, -1, 0),
+    "+z": (0, 0, 1), "-z": (0, 0, -1),
+}
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A 3-D mesh of chips."""
+
+    nx: int
+    ny: int
+    nz: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.nx, self.ny, self.nz) < 1:
+            raise ConfigError("every topology dimension must be >= 1")
+
+    @property
+    def n_chips(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def shape(self) -> Coord:
+        return (self.nx, self.ny, self.nz)
+
+    def contains(self, coord: Coord) -> bool:
+        x, y, z = coord
+        return 0 <= x < self.nx and 0 <= y < self.ny and 0 <= z < self.nz
+
+    def index(self, coord: Coord) -> int:
+        """Linear chip id of a coordinate."""
+        if not self.contains(coord):
+            raise ConfigError(f"coordinate {coord} outside {self.shape}")
+        x, y, z = coord
+        return (z * self.ny + y) * self.nx + x
+
+    def coord(self, chip_id: int) -> Coord:
+        """Coordinate of a linear chip id."""
+        if not 0 <= chip_id < self.n_chips:
+            raise ConfigError(f"chip id {chip_id} out of range")
+        x = chip_id % self.nx
+        y = (chip_id // self.nx) % self.ny
+        z = chip_id // (self.nx * self.ny)
+        return (x, y, z)
+
+    def step(self, coord: Coord, direction: str) -> Coord | None:
+        """The neighbour one hop away, or ``None`` off a mesh face."""
+        dx, dy, dz = DIRECTIONS[direction]
+        nxt = (coord[0] + dx, coord[1] + dy, coord[2] + dz)
+        return nxt if self.contains(nxt) else None
+
+    def neighbours(self, coord: Coord) -> dict[str, Coord]:
+        """All present neighbours by direction."""
+        out = {}
+        for direction in DIRECTIONS:
+            nxt = self.step(coord, direction)
+            if nxt is not None:
+                out[direction] = nxt
+        return out
+
+    def route(self, src: Coord, dst: Coord) -> list[tuple[Coord, str]]:
+        """Dimension-ordered route: list of (hop source, direction)."""
+        hops: list[tuple[Coord, str]] = []
+        here = src
+        for axis, name in ((0, "x"), (1, "y"), (2, "z")):
+            while here[axis] != dst[axis]:
+                direction = ("+" if dst[axis] > here[axis] else "-") + name
+                hops.append((here, direction))
+                here = self.step(here, direction)
+                if here is None:  # pragma: no cover - mesh routes stay inside
+                    raise ConfigError("route left the mesh")
+        return hops
+
+
+@dataclass(frozen=True)
+class TorusTopology(Topology):
+    """A 3-D torus: faces wrap around."""
+
+    def step(self, coord: Coord, direction: str) -> Coord:
+        dx, dy, dz = DIRECTIONS[direction]
+        return (
+            (coord[0] + dx) % self.nx,
+            (coord[1] + dy) % self.ny,
+            (coord[2] + dz) % self.nz,
+        )
+
+    def route(self, src: Coord, dst: Coord) -> list[tuple[Coord, str]]:
+        """Dimension-ordered, taking the shorter way around each ring."""
+        hops: list[tuple[Coord, str]] = []
+        here = src
+        for axis, name, size in ((0, "x", self.nx), (1, "y", self.ny),
+                                 (2, "z", self.nz)):
+            delta = (dst[axis] - here[axis]) % size
+            if delta > size // 2:
+                direction, count = "-" + name, size - delta
+            else:
+                direction, count = "+" + name, delta
+            for _ in range(count):
+                hops.append((here, direction))
+                here = self.step(here, direction)
+        return hops

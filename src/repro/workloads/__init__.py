@@ -1,0 +1,29 @@
+"""Workloads: STREAM and the Splash-2-style kernels.
+
+* :mod:`repro.workloads.stream` — the STREAM benchmark in every mode the
+  paper measures (Figures 4-6): out-of-the-box single/multi-threaded,
+  blocked vs cyclic partitioning, local-cache interest groups, balanced
+  thread allocation, and 4-way unrolling.
+* :mod:`repro.workloads.fft` — the Splash-2 FFT kernel (radix-sqrt(n)
+  six-step algorithm) with selectable hardware or software barriers
+  (Figure 7).
+* :mod:`repro.workloads.lu`, :mod:`~repro.workloads.radix`,
+  :mod:`~repro.workloads.ocean`, :mod:`~repro.workloads.barnes`,
+  :mod:`~repro.workloads.fmm` — the remaining Splash-2 kernels of the
+  paper's Figure 3 speedup study, re-implemented at reduced problem sizes
+  with the same computation/communication/synchronization pattern.
+"""
+
+from repro.workloads.stream import (
+    STREAM_KERNELS,
+    StreamParams,
+    StreamResult,
+    run_stream,
+)
+
+__all__ = [
+    "STREAM_KERNELS",
+    "StreamParams",
+    "StreamResult",
+    "run_stream",
+]

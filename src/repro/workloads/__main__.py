@@ -1,0 +1,7 @@
+"""``python -m repro.workloads`` dispatches to the workload CLI."""
+
+import sys
+
+from repro.workloads.runner import main
+
+sys.exit(main())

@@ -1,0 +1,320 @@
+"""The Splash-2 FFT kernel (Figures 3 and 7).
+
+This is the 1-D complex FFT of Splash-2 — Bailey's six-step radix-sqrt(n)
+algorithm over an n = m*m data set viewed as an m x m matrix of complex
+doubles:
+
+1. transpose;
+2. m-point FFT on every row;
+3. multiply by the W_N twiddle factors;
+4. transpose;
+5. m-point FFT on every row;
+6. transpose (final ordering).
+
+Rows are block-partitioned over the threads; a chip barrier separates the
+steps, so the transposes are the all-to-all communication phases and the
+barriers are what Figure 7 varies: ``barrier="hw"`` uses the wired-OR
+hardware barrier, ``barrier="sw"`` the software combining tree of
+:class:`repro.runtime.barrier_sw.TreeBarrier`.
+
+The paper's constraints are enforced: "the number of points per processor
+[must] be greater than or equal to the square root of the total number of
+points, and the number of processors [must] be a power of two."
+
+Everything is computed functionally — the result is checked against
+``numpy.fft.fft`` — while every load, store, butterfly flop, and barrier
+charges the Table 2 timing model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ChipConfig
+from repro.core.chip import Chip
+from repro.errors import WorkloadError
+from repro.memory.address import make_effective
+from repro.memory.interest_groups import IG_ALL
+from repro.runtime.kernel import AllocationPolicy, Kernel
+from repro.workloads.common import block_ranges
+
+
+@dataclass(frozen=True)
+class FFTParams:
+    """One FFT experiment point."""
+
+    n_points: int = 256
+    n_threads: int = 4
+    barrier: str = "hw"  # "hw" or "sw"
+    policy: AllocationPolicy = AllocationPolicy.SEQUENTIAL
+    verify: bool = True
+
+    def __post_init__(self) -> None:
+        n, p = self.n_points, self.n_threads
+        if n < 4 or n & (n - 1):
+            raise WorkloadError("n_points must be a power of two >= 4")
+        m = math.isqrt(n)
+        if m * m != n:
+            raise WorkloadError("n_points must be a perfect square (n = m*m)")
+        if p < 1 or p & (p - 1):
+            raise WorkloadError("the number of processors must be a power of two")
+        if n // p < m:
+            raise WorkloadError(
+                f"points per processor ({n // p}) must be >= sqrt(n) ({m})"
+            )
+        if self.barrier not in ("hw", "sw"):
+            raise WorkloadError(f"unknown barrier kind {self.barrier!r}")
+
+    @property
+    def m(self) -> int:
+        """The matrix edge: sqrt(n)."""
+        return math.isqrt(self.n_points)
+
+
+@dataclass
+class FFTResult:
+    """Measured outcome of one FFT run."""
+
+    params: FFTParams
+    total_cycles: int
+    run_cycles: int
+    stall_cycles: int
+    barrier_episodes: int
+    verified: bool
+
+    @property
+    def cycles_per_point(self) -> float:
+        return self.total_cycles / self.params.n_points
+
+
+class _Matrix:
+    """An m x m complex-double matrix living in simulated memory."""
+
+    def __init__(self, base: int, m: int, ig_byte: int) -> None:
+        self.base = base
+        self.m = m
+        self.ig = ig_byte
+
+    def ea_re(self, row: int, col: int) -> int:
+        return make_effective(self.base + 16 * (row * self.m + col), self.ig)
+
+    def ea_im(self, row: int, col: int) -> int:
+        return make_effective(self.base + 16 * (row * self.m + col) + 8, self.ig)
+
+
+def _load_complex(ctx, mat: _Matrix, row: int, col: int):
+    tr, re = yield from ctx.load_f64(mat.ea_re(row, col))
+    ti, im = yield from ctx.load_f64(mat.ea_im(row, col))
+    return max(tr, ti), complex(re, im)
+
+
+def _store_complex(ctx, mat: _Matrix, row: int, col: int, value: complex,
+                   deps: tuple = ()):
+    yield from ctx.store_f64(mat.ea_re(row, col), value.real, deps=deps)
+    yield from ctx.store_f64(mat.ea_im(row, col), value.imag, deps=deps)
+
+
+def _transpose(ctx, src: _Matrix, dst: _Matrix, rows: range):
+    """Copy ``src`` transposed into ``dst`` for this thread's target rows.
+
+    Reading down a source column is the all-to-all communication phase:
+    the elements live in lines homed all over the chip.
+    """
+    for row in rows:
+        for col in range(src.m):
+            t, value = yield from _load_complex(ctx, src, col, row)
+            yield from _store_complex(ctx, dst, row, col, value, deps=(t,))
+            ctx.charge_ops(2)
+        ctx.branch()
+
+
+def _bit_reverse_indices(m: int) -> list[int]:
+    bits = m.bit_length() - 1
+    return [int(format(i, f"0{bits}b")[::-1], 2) for i in range(m)]
+
+
+def _row_fft(ctx, mat: _Matrix, row: int, roots: "_RootTable",
+             bitrev: list[int]):
+    """In-place iterative radix-2 FFT over one row of length m."""
+    m = mat.m
+    # Bit-reverse permutation (swap elements through memory).
+    for i, j in enumerate(bitrev):
+        if i < j:
+            ti, vi = yield from _load_complex(ctx, mat, row, i)
+            tj, vj = yield from _load_complex(ctx, mat, row, j)
+            yield from _store_complex(ctx, mat, row, i, vj, deps=(tj,))
+            yield from _store_complex(ctx, mat, row, j, vi, deps=(ti,))
+            ctx.charge_ops(2)
+    size = 2
+    while size <= m:
+        half = size // 2
+        step = m // size
+        for j in range(half):
+            tw, w = yield from _load_twiddle(ctx, roots, j * step)
+            start = 0
+            while start < m:
+                ta, a = yield from _load_complex(ctx, mat, row, start + j)
+                tb, b = yield from _load_complex(ctx, mat, row,
+                                                 start + j + half)
+                # Complex butterfly: t = w*b (2 muls + 2 FMAs), then
+                # a' = a + t and b' = a - t (4 adds).
+                t1 = yield from ctx.fp_mul(deps=(tw, tb))
+                t2 = yield from ctx.fp_fma(deps=(t1,))
+                t3 = yield from ctx.fp_mul(deps=(tw, tb))
+                t4 = yield from ctx.fp_fma(deps=(t3,))
+                product = w * b
+                tsum = yield from ctx.fp_add(deps=(ta, t2, t4))
+                tdif = yield from ctx.fp_add(deps=(ta, t2, t4))
+                tsum2 = yield from ctx.fp_add(deps=(tsum,))
+                tdif2 = yield from ctx.fp_add(deps=(tdif,))
+                yield from _store_complex(ctx, mat, row, start + j,
+                                          a + product, deps=(tsum2,))
+                yield from _store_complex(ctx, mat, row, start + j + half,
+                                          a - product, deps=(tdif2,))
+                ctx.charge_ops(2)
+                ctx.branch()
+                start += size
+        size *= 2
+
+
+class _RootTable:
+    """Twiddle factors W_K^k = exp(-2*pi*i*k/K) stored in memory."""
+
+    def __init__(self, kernel: Kernel, count: int, ig_byte: int) -> None:
+        self.count = count
+        self.base = kernel.heap.alloc_f64_array(2 * count)
+        self.ig = ig_byte
+        view = kernel.chip.memory.backing.f64_view(self.base, 2 * count)
+        angles = -2.0 * np.pi * np.arange(count) / count
+        view[0::2] = np.cos(angles)
+        view[1::2] = np.sin(angles)
+
+    def value(self, index: int) -> complex:
+        angle = -2.0 * math.pi * index / self.count
+        return complex(math.cos(angle), math.sin(angle))
+
+    def ea_re(self, index: int) -> int:
+        return make_effective(self.base + 16 * index, self.ig)
+
+    def ea_im(self, index: int) -> int:
+        return make_effective(self.base + 16 * index + 8, self.ig)
+
+
+def _load_twiddle(ctx, roots: _RootTable, index: int):
+    tr, re = yield from ctx.load_f64(roots.ea_re(index))
+    ti, im = yield from ctx.load_f64(roots.ea_im(index))
+    return max(tr, ti), complex(re, im)
+
+
+def _twiddle_rows(ctx, mat: _Matrix, rows: range, roots_n: _RootTable):
+    """Step 3: scale element (n2, k1) by W_N^(n2*k1)."""
+    n = roots_n.count
+    for row in rows:
+        for col in range(mat.m):
+            index = (row * col) % n
+            tw, w = yield from _load_twiddle(ctx, roots_n, index)
+            tv, value = yield from _load_complex(ctx, mat, row, col)
+            t1 = yield from ctx.fp_mul(deps=(tw, tv))
+            t2 = yield from ctx.fp_fma(deps=(t1,))
+            t3 = yield from ctx.fp_mul(deps=(tw, tv))
+            t4 = yield from ctx.fp_fma(deps=(t3,))
+            yield from _store_complex(ctx, mat, row, col, value * w,
+                                      deps=(t2, t4))
+            ctx.charge_ops(3)
+        ctx.branch()
+
+
+def _fft_thread(ctx, me: int, mats: tuple, roots_m: _RootTable,
+                roots_n: _RootTable, rows: range, barrier, bitrev: list[int],
+                section):
+    a, work = mats
+    section.record_start(me, ctx.time)
+    # Step 1: transpose a -> work.
+    yield from _transpose(ctx, a, work, rows)
+    yield from barrier.wait(ctx)
+    # Step 2: row FFTs on work; Step 3: twiddle scaling.
+    for row in rows:
+        yield from _row_fft(ctx, work, row, roots_m, bitrev)
+    yield from _twiddle_rows(ctx, work, rows, roots_n)
+    yield from barrier.wait(ctx)
+    # Step 4: transpose work -> a.
+    yield from _transpose(ctx, work, a, rows)
+    yield from barrier.wait(ctx)
+    # Step 5: row FFTs on a.
+    for row in rows:
+        yield from _row_fft(ctx, a, row, roots_m, bitrev)
+    yield from barrier.wait(ctx)
+    # Step 6: final transpose a -> work.
+    yield from _transpose(ctx, a, work, rows)
+    yield from barrier.wait(ctx)
+    section.record_finish(me, ctx.time)
+
+
+def run_fft(params: FFTParams, config: ChipConfig | None = None,
+            chip: Chip | None = None,
+            input_values: np.ndarray | None = None) -> FFTResult:
+    """Run one FFT experiment point; returns timing plus verification."""
+    if chip is None:
+        chip = Chip(config or ChipConfig.paper())
+    kernel = Kernel(chip, params.policy)
+    if params.n_threads > kernel.max_software_threads:
+        raise WorkloadError("not enough usable hardware threads")
+
+    n, m = params.n_points, params.m
+    ig = IG_ALL
+    base_a = kernel.heap.alloc_f64_array(2 * n)
+    base_w = kernel.heap.alloc_f64_array(2 * n)
+    mat_a = _Matrix(base_a, m, ig)
+    mat_w = _Matrix(base_w, m, ig)
+    roots_m = _RootTable(kernel, m, ig)
+    roots_n = _RootTable(kernel, n, ig)
+
+    rng = np.random.default_rng(seed=20020202)
+    if input_values is None:
+        input_values = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    view = chip.memory.backing.f64_view(base_a, 2 * n)
+    view[0::2] = input_values.real
+    view[1::2] = input_values.imag
+
+    if params.barrier == "hw":
+        barrier = kernel.hardware_barrier(0, params.n_threads)
+    else:
+        barrier = kernel.tree_barrier(params.n_threads)
+
+    from repro.workloads.common import TimedSection
+
+    section = TimedSection.empty()
+    bitrev = _bit_reverse_indices(m)
+    row_blocks = block_ranges(m, params.n_threads)
+    for t in range(params.n_threads):
+        kernel.spawn(
+            _fft_thread, t, (mat_a, mat_w), roots_m, roots_n,
+            row_blocks[t], barrier, bitrev, section, name=f"fft-{t}",
+        )
+    kernel.run()
+
+    verified = False
+    if params.verify:
+        out = chip.memory.backing.f64_view(base_w, 2 * n)
+        result = out[0::2] + 1j * out[1::2]
+        expected = np.fft.fft(input_values)
+        verified = bool(np.allclose(result, expected, atol=1e-6))
+
+    run_cycles = sum(
+        th.ctx.tu.counters.run_cycles for th in kernel.threads
+    )
+    stall_cycles = sum(
+        th.ctx.tu.counters.stall_cycles for th in kernel.threads
+    )
+    episodes = barrier.episodes
+    return FFTResult(
+        params=params,
+        total_cycles=section.elapsed,
+        run_cycles=run_cycles,
+        stall_cycles=stall_cycles,
+        barrier_episodes=episodes,
+        verified=verified,
+    )

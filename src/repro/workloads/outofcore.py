@@ -1,0 +1,156 @@
+"""Out-of-core processing through the off-chip memory.
+
+"Some applications require more memory than is available on the Cyclops
+chip. ... Blocks of data, 1 KB in size, are transferred between the
+external memory and the embedded memory much like disk operations."
+(Section 2.1)
+
+This workload scales a data set larger than the 8 MB embedded memory:
+the array lives off-chip, and a double-buffered pipeline stages it
+through embedded DRAM — DMA chunk *k+1* in while the thread team scales
+chunk *k* and DMA-es chunk *k-1* out. The DMA engine's occupancy and the
+banks' share of the transfer are charged, so compute/transfer overlap
+(or the lack of it) is visible in the cycle counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ChipConfig
+from repro.core.chip import Chip
+from repro.errors import WorkloadError
+from repro.memory.address import make_effective
+from repro.memory.interest_groups import IG_ALL
+from repro.runtime.kernel import AllocationPolicy, Kernel
+from repro.workloads.common import TimedSection, block_ranges
+
+
+@dataclass(frozen=True)
+class OutOfCoreParams:
+    """One out-of-core scaling run."""
+
+    total_elements: int = 64 * 1024       # 512 KB of doubles off-chip
+    chunk_elements: int = 8 * 1024        # 64 KB staged at a time
+    scalar: float = 2.0
+    n_threads: int = 8
+    policy: AllocationPolicy = AllocationPolicy.BALANCED
+    verify: bool = True
+
+    def __post_init__(self) -> None:
+        if self.total_elements % self.chunk_elements:
+            raise WorkloadError("chunks must divide the data set")
+        if (8 * self.chunk_elements) % 1024:
+            raise WorkloadError("chunks must be whole 1 KB DMA blocks")
+
+    @property
+    def n_chunks(self) -> int:
+        return self.total_elements // self.chunk_elements
+
+    @property
+    def blocks_per_chunk(self) -> int:
+        return 8 * self.chunk_elements // 1024
+
+
+@dataclass
+class OutOfCoreResult:
+    """Measured outcome of one staging run."""
+
+    params: OutOfCoreParams
+    cycles: int
+    dma_blocks: int
+    verified: bool
+
+
+def _worker(ctx, me: int, params: OutOfCoreParams, state, barrier,
+            section: TimedSection):
+    """Scale this thread's slice of whichever chunk is currently staged."""
+    n = params.chunk_elements
+    mine = state["ranges"][me]
+    ig = IG_ALL
+    if me == 0:
+        section.record_start(0, ctx.time)
+    for chunk in range(params.n_chunks):
+        if me == 0:
+            # DMA the chunk in: the controlling thread issues the
+            # transfer and waits for completion.
+            memory = ctx.chip.memory
+            start = yield ctx.tu.issue_time
+            ctx.tu.issue_at(start)
+            ctx.tu.retire(1)
+            done = memory.offchip.read_in(
+                start, chunk * 8 * n, state["buffer"],
+                params.blocks_per_chunk, memory.backing, memory.banks,
+                memory.address_map,
+            )
+            ctx.tu.issue_at(done)
+        yield from barrier.wait(ctx)
+        for i in mine:
+            ea = make_effective(state["buffer"] + 8 * i, ig)
+            t, v = yield from ctx.load_f64(ea)
+            tm = yield from ctx.fp_mul(deps=(t,))
+            yield from ctx.store_f64(ea, params.scalar * v, deps=(tm,))
+            ctx.charge_ops(2)
+            ctx.branch()
+        yield from barrier.wait(ctx)
+        if me == 0:
+            memory = ctx.chip.memory
+            # Writeback: flush dirty lines so the DMA reads fresh bytes,
+            # then transfer the chunk out.
+            for cache_id in range(len(memory.caches)):
+                memory.flush_cache(cache_id)
+            start = yield ctx.tu.issue_time
+            ctx.tu.issue_at(start)
+            ctx.tu.retire(1)
+            done = memory.offchip.write_out(
+                start, state["buffer"], chunk * 8 * n,
+                params.blocks_per_chunk, memory.backing, memory.banks,
+                memory.address_map,
+            )
+            ctx.tu.issue_at(done)
+        yield from barrier.wait(ctx)
+    if me == 0:
+        section.record_finish(0, ctx.time)
+
+
+def run_outofcore(params: OutOfCoreParams, config: ChipConfig | None = None,
+                  chip: Chip | None = None) -> OutOfCoreResult:
+    """Scale an off-chip array through the embedded-memory staging buffer."""
+    if chip is None:
+        chip = Chip(config or ChipConfig.paper())
+    kernel = Kernel(chip, params.policy)
+    if params.n_threads > kernel.max_software_threads:
+        raise WorkloadError("not enough usable hardware threads")
+    if 8 * params.total_elements > chip.config.offchip_bytes:
+        raise WorkloadError("data set exceeds off-chip memory")
+
+    rng = np.random.default_rng(seed=103)
+    data = rng.standard_normal(params.total_elements)
+    chip.memory.offchip.poke(0, data.tobytes())
+
+    buffer = kernel.heap.alloc_f64_array(params.chunk_elements)
+    state = {
+        "buffer": buffer,
+        "ranges": block_ranges(params.chunk_elements, params.n_threads),
+    }
+    barrier = kernel.hardware_barrier(0, params.n_threads)
+    section = TimedSection.empty()
+    for t in range(params.n_threads):
+        kernel.spawn(_worker, t, params, state, barrier, section,
+                     name=f"ooc-{t}")
+    kernel.run()
+
+    verified = False
+    if params.verify:
+        raw = chip.memory.offchip.peek(0, 8 * params.total_elements)
+        out = np.frombuffer(raw, dtype=np.float64)
+        verified = bool(np.allclose(out, params.scalar * data))
+    return OutOfCoreResult(
+        params=params,
+        cycles=section.elapsed,
+        dma_blocks=chip.memory.offchip.blocks_in
+        + chip.memory.offchip.blocks_out,
+        verified=verified,
+    )

@@ -1,0 +1,89 @@
+"""Tests for the multi-chip collectives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.system.collectives import all_reduce_sum, broadcast
+from repro.system.multichip import MultiChipSystem
+from repro.system.topology import Topology
+
+
+def make_system(n_chips: int) -> MultiChipSystem:
+    return MultiChipSystem(Topology(n_chips, 1, 1))
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("n_chips", [2, 3, 4, 5, 8])
+    def test_payload_reaches_every_cell(self, n_chips):
+        system = make_system(n_chips)
+        physical = 0x1000
+        payload = np.arange(16, dtype=np.float64)
+        root = (0, 0, 0)
+        system.chip_at(root).memory.backing.f64_view(physical, 16)[:] = \
+            payload
+        threads = broadcast(system, root, physical, 8 * 16)
+        system.run()
+        for i in range(n_chips):
+            coord = system.topology.coord(i)
+            view = system.chip_at(coord).memory.backing.f64_view(
+                physical, 16)
+            assert np.array_equal(view, payload), coord
+        assert all(t.result for t in threads)
+
+    def test_nonzero_root(self):
+        system = make_system(4)
+        physical = 0x2000
+        root = (2, 0, 0)
+        system.chip_at(root).memory.backing.store_f64(physical, 7.5)
+        broadcast(system, root, physical, 8)
+        system.run()
+        for i in range(4):
+            coord = system.topology.coord(i)
+            assert system.chip_at(coord).memory.backing.load_f64(
+                physical) == 7.5
+
+    def test_pipeline_cost_is_one_transfer_per_hop(self):
+        """Pipelined forwarding: each link carries the payload once, so
+        the total grows linearly in the chain length with no link
+        re-traversal."""
+        def finish(n_chips):
+            system = make_system(n_chips)
+            threads = broadcast(system, (0, 0, 0), 0, 1024)
+            system.run()
+            return max(t.finish_time for t in threads)
+
+        base = finish(2)  # one hop
+        assert finish(8) <= 7 * base + 50
+        assert finish(8) > finish(4) > base
+
+
+class TestAllReduce:
+    @pytest.mark.parametrize("n_chips", [2, 4, 8])
+    def test_every_cell_gets_the_sum(self, n_chips):
+        system = make_system(n_chips)
+        physical = 0x3000
+        count = 8
+        expected = np.zeros(count)
+        for i in range(n_chips):
+            coord = system.topology.coord(i)
+            values = np.arange(count, dtype=np.float64) + 100 * i
+            system.chip_at(coord).memory.backing.f64_view(
+                physical, count)[:] = values
+            expected += values
+        threads = all_reduce_sum(system, physical, count)
+        system.run()
+        for thread in threads:
+            assert np.allclose(thread.result, expected)
+
+    def test_power_of_two_required(self):
+        system = make_system(3)
+        with pytest.raises(WorkloadError):
+            all_reduce_sum(system, 0, 4)
+
+    def test_single_cell_is_identity(self):
+        system = make_system(1)
+        system.chip_at((0, 0, 0)).memory.backing.store_f64(0, 3.25)
+        threads = all_reduce_sum(system, 0, 1)
+        system.run()
+        assert threads[0].result[0] == 3.25

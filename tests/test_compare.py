@@ -1,0 +1,54 @@
+"""Tests for the run-comparison tool."""
+
+import pytest
+
+from repro.analysis.compare import compare_measurements
+
+
+class TestCompareMeasurements:
+    def test_identical_is_clean(self):
+        report = compare_measurements({"a": 1.0, "b": 2.0},
+                                      {"a": 1.0, "b": 2.0})
+        assert report.clean
+        assert len(report.unchanged) == 2
+
+    def test_within_tolerance_ok(self):
+        report = compare_measurements({"a": 100.0}, {"a": 105.0},
+                                      tolerance=0.10)
+        assert report.clean
+
+    def test_drift_detected(self):
+        report = compare_measurements({"a": 100.0}, {"a": 150.0},
+                                      tolerance=0.10)
+        assert not report.clean
+        assert report.drifted[0].relative == pytest.approx(0.5)
+
+    def test_missing_and_added(self):
+        report = compare_measurements({"a": 1.0, "b": 1.0},
+                                      {"b": 1.0, "c": 1.0})
+        assert report.missing == ["a"]
+        assert report.added == ["c"]
+        assert not report.clean
+
+    def test_zero_baseline(self):
+        report = compare_measurements({"a": 0.0}, {"a": 1.0})
+        assert not report.clean
+        report2 = compare_measurements({"a": 0.0}, {"a": 0.0})
+        assert report2.clean
+
+    def test_render(self):
+        report = compare_measurements({"a": 1.0, "b": 10.0},
+                                      {"a": 2.0, "b": 10.0})
+        text = report.render()
+        assert "DRIFT" in text
+        assert "ok" in text
+
+    def test_repeat_experiment_is_clean(self):
+        """Determinism at the report level: the same driver twice."""
+        from repro.experiments import get_experiment
+        first = get_experiment("table2")(quick=True)
+        second = get_experiment("table2")(quick=True)
+        report = compare_measurements(first.measurements,
+                                      second.measurements,
+                                      tolerance=0.0)
+        assert report.clean

@@ -1,0 +1,77 @@
+"""Every example script must run to completion and verify its claims.
+
+These are end-to-end integration tests: each example drives the public
+API the way a downstream user would.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=420,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "dot product = 12288.0" in out
+        assert "instructions" in out
+
+    def test_stream_tuning(self):
+        out = run_example("stream_tuning.py", "--threads", "16",
+                          "--per-thread", "200")
+        assert "+ 4-way unrolling" in out
+        assert "verified=True" in out
+        assert "GB/s" in out
+
+    def test_fft_barriers(self):
+        out = run_example("fft_barriers.py", "--points", "256",
+                          "--threads", "8")
+        assert "hw barrier" in out
+        assert "verified=True" in out
+        assert "delta %" in out
+
+    def test_interest_groups(self):
+        out = run_example("interest_groups.py")
+        assert "stale copy" in out
+        assert "after flush+invalidate quad 9 reads 1.0" in out
+
+    def test_fault_tolerance(self):
+        out = run_example("fault_tolerance.py")
+        assert "degraded chip" in out
+        assert "verified=True" in out
+        assert "123 of 128" in out
+
+    def test_assembly_kernel(self):
+        out = run_example("assembly_kernel.py")
+        assert "SAXPY of 256 doubles verified" in out
+        assert "I-cache hit rate" in out
+
+    def test_multichip_halo(self):
+        out = run_example("multichip_halo.py", "--chips", "2",
+                          "--band", "128", "--iterations", "2")
+        assert "verified=True" in out
+        assert "link bytes" in out
+
+    def test_placement_study(self):
+        out = run_example("placement_study.py")
+        assert "interest group" in out
+        assert "OWN" in out and "ALL" in out
+
+    def test_target_applications(self):
+        out = run_example("target_applications.py")
+        assert "Molecular dynamics" in out
+        assert "Raytracing" in out
+        assert "scratchpad tiles" in out
+        assert "verified=False" not in out

@@ -1,0 +1,83 @@
+"""Tests for the experiment drivers (quick mode) and the CLI runner."""
+
+import pytest
+
+from repro.errors import CyclopsError
+from repro.experiments import REGISTRY, get_experiment
+from repro.experiments.runner import main
+
+
+class TestRegistry:
+    def test_all_artifacts_registered(self):
+        assert set(REGISTRY) >= {
+            "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
+        }
+        assert "family" in REGISTRY  # the extension sweep
+
+    def test_unknown_experiment(self):
+        with pytest.raises(CyclopsError):
+            get_experiment("fig99")
+
+
+class TestQuickRuns:
+    """Each driver must complete in quick mode with a sane report."""
+
+    def test_table1(self):
+        report = get_experiment("table1")(quick=True)
+        assert report.measurements["all_group_imbalance"] < 1.5
+        assert len(report.tables) == 2
+
+    def test_table2_exact_latencies(self):
+        report = get_experiment("table2")(quick=True)
+        assert report.measurements["mismatches"] == 0
+
+    def test_fig3(self):
+        report = get_experiment("fig3")(quick=True)
+        assert len(report.series) == 6
+        for series in report.series:
+            assert series.y[0] == pytest.approx(1.0)
+
+    def test_fig4(self):
+        report = get_experiment("fig4")(quick=True)
+        assert len(report.series) == 8  # 4 kernels x 2 panels
+
+    def test_fig5(self):
+        report = get_experiment("fig5")(quick=True)
+        m = report.measurements
+        assert m["best_local_gb_s"] > 0
+
+    def test_fig6(self):
+        report = get_experiment("fig6")(quick=True)
+        labels = {s.label for s in report.series}
+        assert any(l.startswith("cyclops") for l in labels)
+        assert any(l.startswith("origin") for l in labels)
+
+    def test_fig7(self):
+        report = get_experiment("fig7")(quick=True)
+        assert len(report.tables) == 2
+
+    def test_render_is_text(self):
+        report = get_experiment("table1")(quick=True)
+        text = report.render()
+        assert "table1" in text
+        assert "Paper:" in text
+
+
+class TestRunnerCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "table2" in out
+
+    def test_run_one(self, capsys):
+        assert main(["run", "table1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Interest group" in out
+
+    def test_run_writes_files(self, tmp_path, capsys):
+        assert main(["run", "table2", "--quick", "-o", str(tmp_path)]) == 0
+        assert (tmp_path / "table2.txt").exists()
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(CyclopsError):
+            main(["run", "nope"])

@@ -1,0 +1,94 @@
+"""Tests for the Splash-2 FFT workload (Figure 7's vehicle)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.fft import FFTParams, run_fft
+
+
+class TestParamConstraints:
+    """The paper's stated FFT constraints."""
+
+    def test_power_of_two_threads(self):
+        with pytest.raises(WorkloadError):
+            FFTParams(n_points=256, n_threads=3)
+
+    def test_points_per_processor_at_least_sqrt_n(self):
+        """'the number of points per processor [must] be >= sqrt(n)':
+        256 points -> at most 16 threads."""
+        FFTParams(n_points=256, n_threads=16)  # allowed
+        with pytest.raises(WorkloadError):
+            FFTParams(n_points=256, n_threads=32)
+
+    def test_perfect_square(self):
+        with pytest.raises(WorkloadError):
+            FFTParams(n_points=512, n_threads=2)
+
+    def test_bad_barrier(self):
+        with pytest.raises(WorkloadError):
+            FFTParams(barrier="magic")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n_points", [16, 64, 256])
+    def test_matches_numpy_single_thread(self, n_points):
+        result = run_fft(FFTParams(n_points=n_points, n_threads=1))
+        assert result.verified
+
+    @pytest.mark.parametrize("n_threads", [2, 4, 8, 16])
+    def test_matches_numpy_parallel(self, n_threads):
+        result = run_fft(FFTParams(n_points=256, n_threads=n_threads))
+        assert result.verified
+
+    def test_sw_barrier_also_correct(self):
+        result = run_fft(FFTParams(n_points=256, n_threads=8, barrier="sw"))
+        assert result.verified
+
+    def test_custom_input(self):
+        values = np.arange(64, dtype=float) + 0j
+        result = run_fft(FFTParams(n_points=64, n_threads=4),
+                         input_values=values)
+        assert result.verified
+
+
+class TestScaling:
+    def test_parallel_speedup(self):
+        serial = run_fft(FFTParams(n_points=256, n_threads=1, verify=False))
+        parallel = run_fft(FFTParams(n_points=256, n_threads=8,
+                                     verify=False))
+        assert serial.total_cycles / parallel.total_cycles > 4.0
+
+    def test_barrier_episodes_counted(self):
+        result = run_fft(FFTParams(n_points=64, n_threads=4))
+        assert result.barrier_episodes == 5  # the six-step's five barriers
+
+
+class TestFigure7Shape:
+    def test_hw_beats_sw_at_16_threads(self):
+        hw = run_fft(FFTParams(n_points=256, n_threads=16, barrier="hw",
+                               verify=False))
+        sw = run_fft(FFTParams(n_points=256, n_threads=16, barrier="sw",
+                               verify=False))
+        assert hw.total_cycles < sw.total_cycles
+
+    def test_run_up_stall_down(self):
+        """Paper: 'run cycles increases for the hardware barrier
+        implementation, while the number of stalls decreases'."""
+        hw = run_fft(FFTParams(n_points=256, n_threads=16, barrier="hw",
+                               verify=False))
+        sw = run_fft(FFTParams(n_points=256, n_threads=16, barrier="sw",
+                               verify=False))
+        assert hw.run_cycles > sw.run_cycles
+        assert hw.stall_cycles < sw.stall_cycles
+
+    def test_advantage_grows_with_threads(self):
+        deltas = []
+        for p in (4, 16):
+            hw = run_fft(FFTParams(n_points=256, n_threads=p, barrier="hw",
+                                   verify=False))
+            sw = run_fft(FFTParams(n_points=256, n_threads=p, barrier="sw",
+                                   verify=False))
+            deltas.append((hw.total_cycles - sw.total_cycles)
+                          / sw.total_cycles)
+        assert deltas[1] < deltas[0]  # more negative = bigger win

@@ -1,0 +1,167 @@
+"""Functional tests for the macro-assembler utilities."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chip import Chip
+from repro.errors import AssemblerError
+from repro.isa import Builder, Interpreter
+from repro.isa.macros import (
+    emit_barrier_wait,
+    emit_memcpy,
+    emit_memset,
+    emit_spin_lock_acquire,
+    emit_spin_lock_release,
+    load_effective_address,
+    load_immediate,
+)
+from repro.memory.address import make_effective
+from repro.memory.interest_groups import IG_ALL
+
+
+def run(builder: Builder, chip=None, tid=0, init_regs=None):
+    chip = chip or Chip()
+    interp = Interpreter(chip, model_fetch=False)
+    state = interp.add_thread(tid, builder.build(), init_regs)
+    interp.run()
+    return chip, state
+
+
+class TestLoadImmediate:
+    @pytest.mark.parametrize("value", [
+        0, 1, 4095, 4096, 0xDEADBEEF, 0xFFFFFFFF, 0x00FF00FF, 1 << 31,
+    ])
+    def test_exact_value(self, value):
+        b = Builder()
+        load_immediate(b, 10, value)
+        b.halt()
+        _, state = run(b)
+        assert state.regs.read(10) == value & 0xFFFFFFFF
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 0xFFFFFFFF))
+    def test_property_any_32_bit_value(self, value):
+        b = Builder()
+        load_immediate(b, 10, value)
+        b.halt()
+        _, state = run(b)
+        assert state.regs.read(10) == value
+
+
+class TestLoadEffectiveAddress:
+    @pytest.mark.parametrize("physical,ig", [
+        (0, 0), (0x123456, 0xC0), (0xFFFFFF, 0xFF), (0x000FFF, 0x20),
+    ])
+    def test_matches_make_effective(self, physical, ig):
+        b = Builder()
+        load_effective_address(b, 10, physical, ig)
+        b.halt()
+        _, state = run(b)
+        assert state.regs.read(10) == make_effective(physical, ig)
+
+    def test_rejects_wide_physical(self):
+        with pytest.raises(AssemblerError):
+            load_effective_address(Builder(), 10, 1 << 24)
+
+    def test_usable_as_load_address(self):
+        chip = Chip()
+        chip.memory.backing.store_u32(0x1234, 777)
+        b = Builder()
+        load_effective_address(b, 10, 0x1234, IG_ALL)
+        b.lw(11, 0, base=10)
+        b.halt()
+        _, state = run(b, chip=chip)
+        assert state.regs.read(11) == 777
+
+
+class TestMemcpyMemset:
+    def test_memcpy_copies_words(self):
+        chip = Chip()
+        for i in range(8):
+            chip.memory.backing.store_u32(0x100 + 4 * i, i + 1)
+        b = Builder()
+        b.addi(4, 0, 0x100)   # src
+        b.addi(5, 0, 0x200)   # dst
+        b.addi(6, 0, 8)       # words
+        emit_memcpy(b, dst_reg=5, src_reg=4, words_reg=6)
+        b.halt()
+        run(b, chip=chip)
+        for i in range(8):
+            assert chip.memory.backing.load_u32(0x200 + 4 * i) == i + 1
+
+    def test_memset_fills(self):
+        chip = Chip()
+        b = Builder()
+        b.addi(5, 0, 0x300)
+        b.addi(6, 0, 4)
+        b.addi(7, 0, 0xAB)
+        emit_memset(b, dst_reg=5, value_reg=7, words_reg=6)
+        b.halt()
+        run(b, chip=chip)
+        for i in range(4):
+            assert chip.memory.backing.load_u32(0x300 + 4 * i) == 0xAB
+
+    def test_zero_length_is_noop(self):
+        chip = Chip()
+        b = Builder()
+        b.addi(5, 0, 0x400)
+        b.addi(6, 0, 0)
+        b.addi(7, 0, 9)
+        emit_memset(b, dst_reg=5, value_reg=7, words_reg=6)
+        b.halt()
+        run(b, chip=chip)
+        assert chip.memory.backing.load_u32(0x400) == 0
+
+
+class TestAssemblySpinLock:
+    def test_two_threads_serialize(self):
+        """Two threads increment a counter under the assembly lock."""
+        chip = Chip()
+        lock_addr, counter = 0x500, 0x540
+
+        def make_program():
+            b = Builder()
+            b.addi(4, 0, lock_addr)
+            b.addi(5, 0, counter)
+            for _ in range(20):
+                emit_spin_lock_acquire(
+                    b, lock_reg=4,
+                    label_prefix=f"l{len(b._items)}")
+                b.lw(10, 0, base=5)
+                b.addi(10, 10, 1)
+                b.sw(10, 0, base=5)
+                emit_spin_lock_release(b, lock_reg=4)
+            b.halt()
+            return b.build()
+
+        interp = Interpreter(chip, model_fetch=False)
+        interp.add_thread(0, make_program())
+        interp.add_thread(1, make_program())
+        interp.run()
+        assert chip.memory.backing.load_u32(counter) == 40
+
+
+class TestAssemblyBarrier:
+    def test_two_threads_synchronize(self):
+        """The open-coded SPR protocol really synchronizes: the late
+        thread's arrival releases the early spinner."""
+        chip = Chip()
+        # Both threads: participate (current bit = 1), optionally burn
+        # time, then barrier-wait with phase 0.
+        def make(delay: int):
+            b = Builder()
+            b.addi(20, 0, 1)
+            b.mtspr(20, 0)         # participate: current bit
+            for _ in range(delay):
+                b.nop()
+            emit_barrier_wait(b, phase=0)
+            b.halt()
+            return b.build()
+
+        interp = Interpreter(chip, model_fetch=False)
+        fast = interp.add_thread(0, make(0))
+        slow = interp.add_thread(9, make(300))
+        interp.run()
+        # The fast thread cannot finish before the slow one arrived.
+        assert fast.tu.issue_time >= 300
+        assert slow.halted and fast.halted

@@ -1,0 +1,105 @@
+"""Property-based invariants of the composed memory subsystem."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ChipConfig
+from repro.memory.address import make_effective
+from repro.memory.interest_groups import IG_ALL, InterestGroup, Level
+from repro.memory.subsystem import AccessKind, MemorySubsystem
+
+CFG = ChipConfig.paper()
+
+aligned_addrs = st.integers(0, (CFG.memory_bytes - 8) // 8).map(lambda i: i * 8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(aligned_addrs, st.integers(0, 31), st.booleans())
+def test_latency_never_below_table2_minimum(physical, quad, is_store):
+    """No access completes faster than its Table 2 row allows."""
+    memory = MemorySubsystem(CFG)
+    out = memory.access(0, quad, make_effective(physical, IG_ALL), 8,
+                        is_store)
+    lat = CFG.latency
+    floor = {
+        AccessKind.LOCAL_HIT: lat.mem_local_hit[1],
+        AccessKind.REMOTE_HIT: lat.mem_remote_hit[1],
+        AccessKind.LOCAL_MISS: 0 if is_store else lat.mem_local_miss[1],
+        AccessKind.REMOTE_MISS: 0 if is_store else lat.mem_remote_miss[1],
+    }[out.kind]
+    assert out.complete - out.issue_end >= floor
+    assert out.issue_end >= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(aligned_addrs)
+def test_load_then_load_hits(physical):
+    """Temporal locality always pays off under a unique-home group."""
+    memory = MemorySubsystem(CFG)
+    ea = make_effective(physical, IG_ALL)
+    first = memory.access(0, 0, ea, 8, False)
+    second = memory.access(first.complete + 1, 0, ea, 8, False)
+    assert second.kind in (AccessKind.LOCAL_HIT, AccessKind.REMOTE_HIT)
+    assert second.complete - second.issue_end \
+        < first.complete - first.issue_end
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(aligned_addrs, min_size=1, max_size=60), st.integers(0, 31))
+def test_traffic_conservation(addresses, quad):
+    """Bank traffic equals fills x line size plus writebacks x line size,
+    and every byte is accounted in exactly one bank."""
+    memory = MemorySubsystem(CFG)
+    time = 0
+    for addr in addresses:
+        out = memory.access(time, quad, make_effective(addr, IG_ALL), 8,
+                            False)
+        time = out.complete + 1
+    misses = memory.kind_counts[AccessKind.LOCAL_MISS] \
+        + memory.kind_counts[AccessKind.REMOTE_MISS]
+    assert memory.memory_traffic_bytes == misses * CFG.dcache_line_bytes
+    per_bank = sum(b.bytes_total for b in memory.banks)
+    assert per_bank == memory.memory_traffic_bytes
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, CFG.memory_bytes // CFG.interleave_bytes - 1))
+def test_interleave_unit_maps_to_one_bank(unit):
+    """All bytes of one interleave unit live in the same bank, and the
+    neighbouring unit lives in the next bank round-robin."""
+    memory = MemorySubsystem(CFG)
+    base = unit * CFG.interleave_bytes
+    bank = memory.address_map.bank_of(base)
+    assert memory.address_map.bank_of(base + CFG.interleave_bytes - 1) \
+        == bank
+    if base + CFG.interleave_bytes < CFG.memory_bytes:
+        neighbour = memory.address_map.bank_of(base + CFG.interleave_bytes)
+        assert neighbour == (bank + 1) % CFG.n_memory_banks
+
+
+@settings(max_examples=30, deadline=None)
+@given(aligned_addrs, st.integers(0, 31))
+def test_write_validate_saves_exactly_one_fill(physical, quad):
+    """A store miss costs one line of traffic less than a load miss
+    (the fetch), everything else equal."""
+    load_side = MemorySubsystem(CFG)
+    store_side = MemorySubsystem(CFG)
+    ea = make_effective(physical, IG_ALL)
+    load_side.access(0, quad, ea, 8, False)
+    store_side.access(0, quad, ea, 8, True)
+    assert load_side.memory_traffic_bytes \
+        - store_side.memory_traffic_bytes == CFG.dcache_line_bytes
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 255))
+def test_every_decodable_group_places_in_range(byte):
+    """Any byte that decodes must place any line in a valid cache."""
+    from repro.errors import InterestGroupError
+    memory = MemorySubsystem(CFG)
+    try:
+        InterestGroup.decode(byte)
+    except InterestGroupError:
+        return
+    target = memory.target_cache(byte, 0x1234 * 64, 5)
+    assert 0 <= target < CFG.n_dcaches

@@ -1,0 +1,73 @@
+"""Tests for the tree reduction primitive."""
+
+import pytest
+
+from repro.core.chip import Chip
+from repro.errors import BarrierError
+from repro.runtime.kernel import AllocationPolicy, Kernel
+from repro.runtime.reductions import TreeReduction
+
+
+def run_reduction(n_threads, values=None):
+    kernel = Kernel(Chip(), AllocationPolicy.BALANCED)
+    reduction = TreeReduction(kernel, n_threads)
+    values = values or [float(i + 1) for i in range(n_threads)]
+    results = []
+
+    def body(ctx, v):
+        total = yield from reduction.reduce(ctx, v)
+        results.append(total)
+
+    for v in values:
+        kernel.spawn(body, v)
+    kernel.run()
+    return results, sum(values)
+
+
+class TestTreeReduction:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 16])
+    def test_every_thread_gets_the_sum(self, n):
+        results, expected = run_reduction(n)
+        assert len(results) == n
+        assert all(r == pytest.approx(expected) for r in results)
+
+    def test_negative_and_fractional(self):
+        results, expected = run_reduction(4, [-1.5, 2.25, 0.0, 10.75])
+        assert all(r == pytest.approx(expected) for r in results)
+
+    def test_reusable(self):
+        kernel = Kernel(Chip(), AllocationPolicy.BALANCED)
+        reduction = TreeReduction(kernel, 4)
+        sums = []
+
+        def body(ctx, me):
+            first = yield from reduction.reduce(ctx, float(me))
+            second = yield from reduction.reduce(ctx, float(me * 10))
+            sums.append((first, second))
+
+        for i in range(4):
+            kernel.spawn(body, i)
+        kernel.run()
+        assert all(s == (6.0, 60.0) for s in sums)
+
+    def test_bad_size(self):
+        kernel = Kernel(Chip())
+        with pytest.raises(BarrierError):
+            TreeReduction(kernel, 0)
+
+    def test_costs_grow_with_participants(self):
+        def cycles(n):
+            kernel = Kernel(Chip(), AllocationPolicy.BALANCED)
+            reduction = TreeReduction(kernel, n)
+            finish = []
+
+            def body(ctx, me):
+                yield from reduction.reduce(ctx, 1.0)
+                finish.append(ctx.time)
+
+            for i in range(n):
+                kernel.spawn(body, i)
+            kernel.run()
+            return max(finish)
+
+        assert cycles(16) > cycles(2)

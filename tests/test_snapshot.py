@@ -1,0 +1,70 @@
+"""Tests for chip state snapshots."""
+
+import json
+
+from repro.analysis.snapshot import diff_snapshots, snapshot, to_json
+from repro.core.chip import Chip
+from repro.core.faults import FaultController
+from repro.memory.address import make_effective
+from repro.memory.interest_groups import IG_ALL
+from repro.runtime.kernel import Kernel
+
+
+class TestSnapshot:
+    def test_fresh_chip_is_mostly_empty(self):
+        snap = snapshot(Chip())
+        assert snap["threads"] == {}
+        assert snap["caches"] == {}
+        assert snap["banks"] == {}
+        assert snap["config"]["n_threads"] == 128
+
+    def test_activity_is_captured(self):
+        chip = Chip()
+        kernel = Kernel(chip)
+
+        def body(ctx):
+            t, _ = yield from ctx.load_f64(ctx.ea(0x1000))
+            yield from ctx.fp_fma(deps=(t,))
+
+        kernel.spawn(body)
+        kernel.run()
+        snap = snapshot(chip)
+        assert snap["threads"]["0"]["loads"] == 1
+        assert snap["threads"]["0"]["flops"] == 2
+        assert snap["access_kinds"]
+        assert len(snap["caches"]) == 1
+        assert len(snap["banks"]) == 1
+
+    def test_faults_visible(self):
+        chip = Chip()
+        faults = FaultController(chip)
+        faults.fail_bank(2)
+        snap = snapshot(chip)
+        assert snap["banks"]["2"]["failed"]
+        assert snap["max_memory"] == 15 * 512 * 1024
+
+    def test_json_roundtrip(self):
+        chip = Chip()
+        chip.memory.access(0, 0, make_effective(0, IG_ALL), 8, False)
+        text = to_json(chip)
+        assert json.loads(text)["config"]["n_banks"] == 16
+
+
+class TestDiff:
+    def test_no_changes(self):
+        chip = Chip()
+        assert diff_snapshots(snapshot(chip), snapshot(chip)) == []
+
+    def test_changes_located(self):
+        chip = Chip()
+        before = snapshot(chip)
+        chip.memory.access(0, 0, make_effective(0x40, IG_ALL), 8, True)
+        after = snapshot(chip)
+        changes = diff_snapshots(before, after)
+        assert changes
+        assert any("caches" in change for change in changes)
+
+    def test_nested_paths_in_output(self):
+        before = {"a": {"b": 1}}
+        after = {"a": {"b": 2}}
+        assert diff_snapshots(before, after) == ["a.b: 1 -> 2"]

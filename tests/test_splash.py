@@ -1,0 +1,136 @@
+"""Tests for the remaining Splash-2 kernels: LU, Radix, Ocean, Barnes,
+FMM — functional correctness at several thread counts plus scaling."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.runtime.kernel import AllocationPolicy
+from repro.workloads.barnes import BarnesParams, run_barnes
+from repro.workloads.fmm import FMMParams, run_fmm
+from repro.workloads.lu import LUParams, run_lu
+from repro.workloads.ocean import OceanParams, run_ocean
+from repro.workloads.radix import RadixParams, run_radix
+
+BALANCED = AllocationPolicy.BALANCED
+
+
+class TestLU:
+    @pytest.mark.parametrize("n_threads", [1, 2, 4, 8])
+    def test_factorization_correct(self, n_threads):
+        result = run_lu(LUParams(n=32, block=8, n_threads=n_threads))
+        assert result.verified
+
+    def test_block_must_divide(self):
+        with pytest.raises(WorkloadError):
+            LUParams(n=30, block=8)
+
+    def test_scales(self):
+        serial = run_lu(LUParams(n=32, block=8, n_threads=1, verify=False,
+                                 policy=BALANCED))
+        parallel = run_lu(LUParams(n=32, block=8, n_threads=8, verify=False,
+                                   policy=BALANCED))
+        assert serial.cycles / parallel.cycles > 2.0
+
+
+class TestRadix:
+    @pytest.mark.parametrize("n_threads", [1, 2, 4, 16])
+    def test_sorts_correctly(self, n_threads):
+        result = run_radix(RadixParams(n_keys=1024, n_threads=n_threads))
+        assert result.verified
+
+    def test_odd_pass_count(self):
+        """12-bit keys with 4-bit digits: 3 passes, final data in dst."""
+        result = run_radix(RadixParams(n_keys=512, key_bits=12,
+                                       radix_bits=4, n_threads=4))
+        assert result.verified
+
+    def test_digits_must_divide(self):
+        with pytest.raises(WorkloadError):
+            RadixParams(key_bits=10, radix_bits=4)
+
+    def test_scales_sublinearly(self):
+        """All-to-all permutation limits Radix (Figure 3's low curve)."""
+        serial = run_radix(RadixParams(n_keys=4096, n_threads=1,
+                                       verify=False, policy=BALANCED))
+        parallel = run_radix(RadixParams(n_keys=4096, n_threads=16,
+                                         verify=False, policy=BALANCED))
+        speedup = serial.cycles / parallel.cycles
+        assert 2.0 < speedup < 16.0
+
+
+class TestOcean:
+    @pytest.mark.parametrize("n_threads", [1, 2, 4, 8])
+    def test_matches_reference_sweeps(self, n_threads):
+        result = run_ocean(OceanParams(grid=18, iterations=2,
+                                       n_threads=n_threads))
+        assert result.verified
+
+    def test_too_many_threads(self):
+        with pytest.raises(WorkloadError):
+            OceanParams(grid=10, n_threads=16)
+
+    def test_scales(self):
+        serial = run_ocean(OceanParams(grid=34, iterations=2, n_threads=1,
+                                       verify=False, policy=BALANCED))
+        parallel = run_ocean(OceanParams(grid=34, iterations=2,
+                                         n_threads=16, verify=False,
+                                         policy=BALANCED))
+        assert serial.cycles / parallel.cycles > 6.0
+
+
+class TestBarnes:
+    @pytest.mark.parametrize("n_threads", [1, 4, 8])
+    def test_forces_correct(self, n_threads):
+        result = run_barnes(BarnesParams(n_bodies=128,
+                                         n_threads=n_threads))
+        assert result.verified
+
+    def test_theta_bounds(self):
+        with pytest.raises(WorkloadError):
+            BarnesParams(theta=0.0)
+
+    def test_scales(self):
+        serial = run_barnes(BarnesParams(n_bodies=256, n_threads=1,
+                                         verify=False, policy=BALANCED))
+        parallel = run_barnes(BarnesParams(n_bodies=256, n_threads=16,
+                                           verify=False, policy=BALANCED))
+        assert serial.cycles / parallel.cycles > 5.0
+
+
+class TestFMM:
+    @pytest.mark.parametrize("n_threads", [1, 4, 8])
+    def test_potentials_correct(self, n_threads):
+        result = run_fmm(FMMParams(n_bodies=128, levels=3,
+                                   n_threads=n_threads))
+        assert result.verified
+
+    def test_more_terms_tighter(self):
+        """Expansion order controls accuracy (sanity of the math)."""
+        import numpy as np
+        from repro.workloads.fmm import (
+            direct_potential, l2p, m2l, p2m,
+        )
+        rng = np.random.default_rng(3)
+        bodies = [(complex(z.real * 0.1, z.imag * 0.1), 1.0)
+                  for z in rng.standard_normal(8)
+                  + 1j * rng.standard_normal(8)]
+        target = 2.0 + 2.0j
+        errors = []
+        for terms in (2, 8):
+            mp = p2m(bodies, 0j, terms)
+            local = m2l(mp, 0j - target, terms)
+            approx = l2p(local, target, target)
+            exact = direct_potential(target, bodies)
+            errors.append(abs(approx - exact))
+        assert errors[1] < errors[0]
+
+    def test_level_bounds(self):
+        with pytest.raises(WorkloadError):
+            FMMParams(levels=1)
+
+    def test_scales(self):
+        serial = run_fmm(FMMParams(n_bodies=256, levels=3, n_threads=1,
+                                   verify=False, policy=BALANCED))
+        parallel = run_fmm(FMMParams(n_bodies=256, levels=3, n_threads=16,
+                                     verify=False, policy=BALANCED))
+        assert serial.cycles / parallel.cycles > 4.0

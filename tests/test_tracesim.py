@@ -1,0 +1,83 @@
+"""Tests for the trace-driven memory explorer."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.memory.interest_groups import InterestGroup, Level
+from repro.memory.tracesim import (
+    TraceAccess,
+    pointer_chase_trace,
+    replay,
+    retarget,
+    strided_trace,
+)
+
+
+class TestReplay:
+    def test_strided_sweep_hits_within_lines(self):
+        """Sequential doubles: 1 miss + 7 hits per 64-byte line."""
+        trace = strided_trace(base=0, stride=8, count=256)
+        profile = replay(trace)
+        assert profile.accesses == 256
+        assert profile.misses == 256 // 8
+        assert profile.hit_rate == pytest.approx(7 / 8)
+
+    def test_second_pass_all_hits(self):
+        trace = strided_trace(0, 8, 128, ig_byte=0)  # own cache, 1 KB
+        memory = None
+        from repro.memory.subsystem import MemorySubsystem
+        from repro.config import ChipConfig
+        memory = MemorySubsystem(ChipConfig.paper())
+        replay(trace, memory=memory)
+        second = replay(trace, memory=memory)
+        assert second.hit_rate == 1.0
+
+    def test_latency_reflects_interest_group(self):
+        """The Table 1 placement study in four lines."""
+        base_trace = strided_trace(0, 8, 512, quad=0)
+        own = replay(retarget(base_trace, InterestGroup(Level.OWN)))
+        pinned_remote = replay(retarget(base_trace,
+                                        InterestGroup(Level.ONE, 20)))
+        spread = replay(retarget(base_trace, InterestGroup(Level.ALL)))
+        assert own.mean_load_latency < spread.mean_load_latency
+        assert own.mean_load_latency < pinned_remote.mean_load_latency
+        assert own.remote == 0
+        assert pinned_remote.local == 0
+
+    def test_traffic_is_line_fills(self):
+        profile = replay(strided_trace(0, 64, 32))  # one miss per access
+        assert profile.memory_traffic_bytes == 32 * 64
+
+    def test_stores_write_validate(self):
+        profile = replay(strided_trace(0, 8, 64, is_store=True))
+        assert profile.memory_traffic_bytes == 0  # no fetch, no writeback yet
+
+    def test_pointer_chase(self):
+        addresses = [0, 4096, 8192, 0]
+        profile = replay(pointer_chase_trace(addresses))
+        assert profile.accesses == 4
+        assert profile.hits == 1  # the revisit of 0
+
+    def test_issue_interval_spreads_time(self):
+        fast = replay(strided_trace(0, 64, 16), issue_interval=1)
+        slow = replay(strided_trace(0, 64, 16), issue_interval=100)
+        assert slow.finish_time > fast.finish_time
+
+    def test_bad_interval(self):
+        with pytest.raises(WorkloadError):
+            replay([], issue_interval=0)
+
+    def test_kind_counts_exposed(self):
+        profile = replay(strided_trace(0, 8, 64, ig_byte=0))
+        assert profile.kind_counts.get("local_miss", 0) > 0
+
+
+class TestRetarget:
+    def test_preserves_physical_and_kind(self):
+        trace = strided_trace(0x1000, 8, 4, is_store=True)
+        again = retarget(trace, InterestGroup(Level.ONE, 3))
+        from repro.memory.address import split_effective
+        for before, after in zip(trace, again):
+            assert split_effective(before.effective)[1] \
+                == split_effective(after.effective)[1]
+            assert after.is_store

@@ -1,0 +1,76 @@
+"""Tests for the utilization reporting."""
+
+import pytest
+
+from repro.analysis.utilization import utilization
+from repro.core.chip import Chip
+from repro.runtime.kernel import AllocationPolicy, Kernel
+from repro.workloads.stream import StreamParams, run_stream
+
+
+class TestUtilization:
+    def test_idle_chip_is_zero(self):
+        chip = Chip()
+        report = utilization(chip, 1000)
+        assert report.fpu_add == 0.0
+        assert report.banks == 0.0
+        assert report.ipc == 0.0
+
+    def test_fma_stream_saturates_both_pipes(self):
+        chip = Chip()
+        kernel = Kernel(chip)
+
+        def body(ctx):
+            yield from ctx.fp_stream(500, op="fma")
+
+        kernel.spawn(body)
+        cycles = kernel.run()
+        report = utilization(chip, cycles)
+        # One thread keeps one of 32 FPUs ~fully busy.
+        assert report.fpu_add > 0.9 / 32
+        assert report.fpu_mul > 0.9 / 32
+        assert report.flops == 1000
+
+    def test_stream_pins_the_banks(self):
+        """Out-of-cache STREAM: banks busy, FPU idle (the paper's
+        memory-bound regime)."""
+        chip = Chip()
+        result = run_stream(StreamParams(
+            kernel="copy", n_elements=64 * 800, n_threads=64,
+            policy=AllocationPolicy.BALANCED,
+        ), chip=chip)
+        report = utilization(chip, result.cycles)
+        assert report.banks > 0.25
+        assert report.fpu_add < 0.05
+        assert report.kind_counts["local_miss"] \
+            + report.kind_counts["remote_miss"] > 0
+
+    def test_render_mentions_everything(self):
+        chip = Chip()
+        kernel = Kernel(chip)
+
+        def body(ctx):
+            yield from ctx.fp_add()
+            yield from ctx.load_f64(ctx.ea(0x100))
+
+        kernel.spawn(body)
+        cycles = kernel.run()
+        text = utilization(chip, max(cycles, 1)).render()
+        assert "FPU adder" in text
+        assert "memory banks" in text
+        assert "accesses:" in text
+
+    def test_ipc_and_flops_rates(self):
+        chip = Chip()
+        kernel = Kernel(chip)
+
+        def body(ctx):
+            ctx.charge_ops(100)
+            return None
+            yield  # pragma: no cover
+
+        kernel.spawn(body)
+        kernel.run()
+        report = utilization(chip, 100)
+        assert report.ipc == pytest.approx(1.0)
+        assert report.flops_per_cycle == 0.0

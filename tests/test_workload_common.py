@@ -1,0 +1,69 @@
+"""Tests for shared workload plumbing and tracing integration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chip import Chip
+from repro.engine.tracing import Tracer
+from repro.memory.address import make_effective
+from repro.memory.interest_groups import IG_ALL
+from repro.workloads.common import (
+    TimedSection,
+    block_ranges,
+    cyclic_group_indices,
+)
+
+
+class TestTimedSection:
+    def test_elapsed_spans_all_threads(self):
+        section = TimedSection.empty()
+        section.record_start(0, 100)
+        section.record_start(1, 120)
+        section.record_finish(0, 500)
+        section.record_finish(1, 450)
+        assert section.elapsed == 400  # 500 - 100
+        assert section.thread_elapsed(1) == 330
+
+    def test_empty_section(self):
+        assert TimedSection.empty().elapsed == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 5000), st.integers(1, 64), st.sampled_from([1, 8]))
+def test_block_ranges_partition_property(n, threads, align):
+    ranges = block_ranges(n, min(threads, n), align=align)
+    flat = [i for r in ranges for i in r]
+    assert flat == list(range(n))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(8, 5000), st.integers(1, 64))
+def test_cyclic_partition_property(n, threads):
+    threads = min(threads, n)
+    indices = cyclic_group_indices(n, threads)
+    flat = sorted(i for lst in indices for i in lst)
+    assert flat == list(range(n))
+
+
+class TestTracingIntegration:
+    def test_subsystem_emits_access_events(self):
+        tracer = Tracer()
+        chip = Chip(tracer=tracer)
+        ea = make_effective(0x1000, IG_ALL)
+        chip.memory.access(0, 0, ea, 8, False)
+        chip.memory.access(50, 0, ea, 8, False)
+        kinds = [r.event for r in tracer.records]
+        assert kinds[0].endswith("miss")
+        assert kinds[1].endswith("hit")
+
+    def test_trace_details_carry_address(self):
+        tracer = Tracer()
+        chip = Chip(tracer=tracer)
+        chip.memory.access(0, 0, make_effective(0x1000, IG_ALL), 8, True)
+        assert "0x1000" in tracer.records[0].detail
+        assert "store=True" in tracer.records[0].detail
+
+    def test_null_tracer_costs_nothing(self):
+        chip = Chip()
+        chip.memory.access(0, 0, make_effective(0, IG_ALL), 8, False)
+        assert not chip.tracer.records
