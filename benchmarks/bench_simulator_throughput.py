@@ -4,30 +4,63 @@ Unlike the figure benches (which measure *simulated* outcomes), these
 measure the *simulator*: how fast the event engine retires architectural
 operations on the host. Useful for tracking performance regressions in
 the engine itself; pytest-benchmark's timing is the product here.
+
+The STREAM bench also profiles itself through
+:class:`repro.telemetry.hostprof.HostProfiler` and writes the measured
+simulated-cycles/sec and engine-events/sec to
+``results/BENCH_telemetry.json`` so future perf PRs have a committed
+baseline trajectory to beat.
 """
+
+import json
+import pathlib
 
 import pytest
 
 from repro.core.chip import Chip
 from repro.runtime.kernel import AllocationPolicy, Kernel
+from repro.telemetry.hostprof import HostProfiler
 from repro.workloads.stream import StreamParams, run_stream
+
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent.parent \
+    / "results" / "BENCH_telemetry.json"
 
 
 @pytest.mark.figure("meta")
 def test_engine_ops_per_second(benchmark):
     """Sustained simulated-ops/s on a 32-thread memory-bound kernel."""
     ops_per_run = 32 * 400 * 5  # threads x elements x ops/element approx
+    profiler = HostProfiler()
 
     def run():
-        return run_stream(StreamParams(
-            kernel="triad", n_elements=32 * 400, n_threads=32,
-            verify=False, warmup=False,
-        ))
+        with profiler.phase("stream_triad_32t"):
+            return run_stream(StreamParams(
+                kernel="triad", n_elements=32 * 400, n_threads=32,
+                verify=False, warmup=False,
+            ))
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.cycles > 0
     rate = ops_per_run / benchmark.stats["mean"]
     print(f"\n~{rate / 1e3:.0f}k simulated ops/s")
+
+    # Baseline artifact: simulated cycles + engine throughput per round.
+    phase = profiler["stream_triad_32t"]
+    mean_seconds = phase.seconds / max(1, phase.entries)
+    baseline = {
+        "benchmark": "stream_triad_32t",
+        "rounds": phase.entries,
+        "mean_host_seconds": mean_seconds,
+        "simulated_cycles": result.cycles,
+        "simulated_cycles_per_sec": result.cycles / mean_seconds,
+        "approx_ops_per_sec": rate,
+    }
+    try:
+        BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2,
+                                            sort_keys=True))
+    except OSError:  # pragma: no cover - read-only checkout
+        pass
 
 
 @pytest.mark.figure("meta")

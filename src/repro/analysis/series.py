@@ -34,6 +34,16 @@ class Series:
         """The points as (x, y) tuples."""
         return list(zip(self.x, self.y))
 
+    def to_dict(self) -> dict:
+        """A JSON-safe dictionary (machine-readable experiment output)."""
+        return {
+            "label": self.label,
+            "x_name": self.x_name,
+            "y_name": self.y_name,
+            "x": list(self.x),
+            "y": list(self.y),
+        }
+
 
 def merge_render(series_list: list[Series], width: int = 12) -> str:
     """Render several series sharing an x-axis as one aligned table."""

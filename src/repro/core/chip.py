@@ -32,6 +32,10 @@ class Chip:
                  tracer: Tracer = NULL_TRACER) -> None:
         self.config = config or ChipConfig.paper()
         self.tracer = tracer
+        #: Optional :class:`~repro.telemetry.instrument.ChipInstrumentation`.
+        #: When set, kernels booted on this chip attach their scheduler
+        #: probe and barriers their spread histograms automatically.
+        self.telemetry = None
         self.threads = [
             ThreadUnit(tid, self.config) for tid in range(self.config.n_threads)
         ]

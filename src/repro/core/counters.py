@@ -27,6 +27,10 @@ class ThreadCounters:
     barriers: int = 0
     start_time: int = 0
     finish_time: int = 0
+    #: Number of distinct stall episodes (stall_cycles / stall_events is
+    #: the mean stall length — a bank conflict reads very differently
+    #: from a barrier wait even at equal total cycles).
+    stall_events: int = 0
 
     @property
     def total_cycles(self) -> int:
@@ -47,6 +51,7 @@ class ThreadCounters:
         self.loads += other.loads
         self.stores += other.stores
         self.barriers += other.barriers
+        self.stall_events += other.stall_events
 
     def reset(self) -> None:
         """Zero everything."""
@@ -59,6 +64,7 @@ class ThreadCounters:
         self.barriers = 0
         self.start_time = 0
         self.finish_time = 0
+        self.stall_events = 0
 
 
 @dataclass

@@ -32,6 +32,8 @@ class FPU:
         self.multiplier = PipelinedUnit(f"fpu{fpu_id}.mul")
         self.divider = NonPipelinedUnit(f"fpu{fpu_id}.div")
         self.operations = 0
+        #: Cycles requests waited for a busy sub-unit (quad contention).
+        self.contention_cycles = 0
         self.failed = False
 
     # ------------------------------------------------------------------
@@ -41,6 +43,8 @@ class FPU:
         execution, latency = latency_row
         grant = unit.issue(time)
         self.operations += 1
+        if grant != time:
+            self.contention_cycles += grant - time
         return grant + execution, grant + execution + latency
 
     def add(self, time: int) -> tuple[int, int]:
@@ -71,6 +75,8 @@ class FPU:
         grant_m = self.multiplier.reserve(earliest, execution)
         grant = max(grant_a, grant_m)
         self.operations += 1
+        if grant != time:
+            self.contention_cycles += grant - time
         return grant + execution, grant + execution + latency
 
     def divide(self, time: int) -> tuple[int, int]:
@@ -78,6 +84,8 @@ class FPU:
         execution, latency = self.config.latency.fp_divide
         grant = self.divider.execute(time, execution)
         self.operations += 1
+        if grant != time:
+            self.contention_cycles += grant - time
         return grant + execution, grant + execution + latency
 
     def sqrt(self, time: int) -> tuple[int, int]:
@@ -85,6 +93,8 @@ class FPU:
         execution, latency = self.config.latency.fp_sqrt
         grant = self.divider.execute(time, execution)
         self.operations += 1
+        if grant != time:
+            self.contention_cycles += grant - time
         return grant + execution, grant + execution + latency
 
     # ------------------------------------------------------------------
@@ -98,3 +108,4 @@ class FPU:
         self.multiplier.reset()
         self.divider.reset()
         self.operations = 0
+        self.contention_cycles = 0

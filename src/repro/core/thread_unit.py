@@ -45,6 +45,7 @@ class ThreadUnit:
         """
         if earliest > self.issue_time:
             self.counters.stall_cycles += earliest - self.issue_time
+            self.counters.stall_events += 1
             self.issue_time = earliest
         return self.issue_time
 

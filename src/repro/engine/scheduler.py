@@ -75,6 +75,11 @@ class Scheduler:
         self._n_live = 0
         self._n_parked = 0
         self._parked_processes: set[Process] = set()
+        #: Total process resumptions (the engine's unit of host work).
+        self.steps = 0
+        #: Optional telemetry hook ``probe(queue_depth, now)`` called once
+        #: per resumption; ``None`` (the default) costs one branch.
+        self.probe: Callable[[int, int], None] | None = None
 
     # ------------------------------------------------------------------
     # Process lifecycle
@@ -117,18 +122,28 @@ class Scheduler:
         Returns the final simulated time. Raises :class:`DeadlockError`
         if live processes remain parked with nothing left to wake them.
         """
-        while self.queue:
-            if until is not None and self.queue.peek_time() > until:
-                self.now = until
-                return self.now
-            time, process = self.queue.pop()
-            if time < self.now:
-                raise SimulationError(
-                    f"time went backwards: {time} < {self.now}"
-                )
-            self.now = time
-            process.time = time
-            self._step(process)
+        queue = self.queue
+        probe = self.probe  # hoisted: attach probes before run(), not during
+        step = self._step
+        steps = 0
+        try:
+            while queue:
+                if until is not None and queue.peek_time() > until:
+                    self.now = until
+                    return self.now
+                time, process = queue.pop()
+                if time < self.now:
+                    raise SimulationError(
+                        f"time went backwards: {time} < {self.now}"
+                    )
+                self.now = time
+                process.time = time
+                step(process)
+                steps += 1
+                if probe is not None:
+                    probe(len(queue), time)
+        finally:
+            self.steps += steps
         if self._n_parked and self._n_live:
             names = sorted(p.name for p in self._parked_processes)
             shown = ", ".join(names[:8])

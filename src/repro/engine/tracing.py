@@ -8,6 +8,7 @@ on microarchitectural event sequences (issue, stall, miss, barrier).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -28,15 +29,18 @@ class Tracer:
     enabled = True
 
     def __init__(self, capacity: int | None = None) -> None:
-        self.records: list[TraceRecord] = []
-        #: Optional bound: the oldest records are dropped beyond it.
-        self.capacity = capacity
+        #: A deque bounded by *capacity*: once full, each append drops the
+        #: oldest record in O(1) (a list would shift every element).
+        self.records: deque[TraceRecord] = deque(maxlen=capacity)
+
+    @property
+    def capacity(self) -> int | None:
+        """Optional bound: the oldest records are dropped beyond it."""
+        return self.records.maxlen
 
     def emit(self, time: int, source: str, event: str, detail: str = "") -> None:
         """Record one event."""
         self.records.append(TraceRecord(time, source, event, detail))
-        if self.capacity is not None and len(self.records) > self.capacity:
-            del self.records[0]
 
     def events(self, name: str | None = None) -> Iterable[TraceRecord]:
         """Iterate records, optionally filtered to one event name."""

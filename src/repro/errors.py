@@ -70,3 +70,7 @@ class DeadlockError(SimulationError):
 
 class WorkloadError(CyclopsError):
     """A workload was asked to run with unsatisfiable parameters."""
+
+
+class TelemetryError(CyclopsError):
+    """Misuse of the metrics/tracing/profiling subsystem."""

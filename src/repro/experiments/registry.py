@@ -56,6 +56,18 @@ class ExperimentReport:
                 lines.append(f"  {key}: {value:.4g}")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """A JSON-safe dictionary (for ``run --json``)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper": self.paper,
+            "notes": list(self.notes),
+            "tables": list(self.tables),
+            "series": [s.to_dict() for s in self.series],
+            "measurements": dict(self.measurements),
+        }
+
 
 #: experiment id -> driver callable (quick: bool) -> ExperimentReport
 REGISTRY: dict[str, Callable[..., ExperimentReport]] = {}

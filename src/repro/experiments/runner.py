@@ -5,11 +5,13 @@ Subcommands::
     list                 show every registered experiment
     run <id> [--quick]   run one experiment (or ``all``) and print it
     run all -o out/      also write one report file per experiment
+    run <id> --json f    also write machine-readable results as JSON
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 import time
@@ -31,6 +33,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="tiny problem sizes (smoke test)")
     run_cmd.add_argument("-o", "--output-dir", default=None,
                          help="also write one .txt report per experiment")
+    run_cmd.add_argument("--json", default=None, metavar="PATH",
+                         help="write all results as one JSON document "
+                              "(experiment id -> report dict)")
     return parser
 
 
@@ -47,6 +52,7 @@ def main(argv: list[str] | None = None) -> int:
     out_dir = pathlib.Path(args.output_dir) if args.output_dir else None
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
+    json_reports: dict[str, dict] = {}
     for experiment_id in ids:
         driver = get_experiment(experiment_id)
         started = time.time()
@@ -56,6 +62,16 @@ def main(argv: list[str] | None = None) -> int:
         print(text)
         if out_dir:
             (out_dir / f"{experiment_id}.txt").write_text(text)
+        if args.json:
+            entry = report.to_dict()
+            entry["elapsed_seconds"] = round(elapsed, 3)
+            entry["quick"] = bool(args.quick)
+            json_reports[experiment_id] = entry
+    if args.json:
+        path = pathlib.Path(args.json)
+        if path.parent != pathlib.Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(json_reports, indent=2, sort_keys=True))
     return 0
 
 

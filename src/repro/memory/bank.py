@@ -26,6 +26,8 @@ class MemoryBank(TimelineResource):
         self.config = config
         self.bytes_read = 0
         self.bytes_written = 0
+        #: Cycles requests queued behind earlier ones (bank conflicts).
+        self.conflict_cycles = 0
         self.failed = False
 
     # ------------------------------------------------------------------
@@ -38,6 +40,8 @@ class MemoryBank(TimelineResource):
         self._require_healthy()
         grant = self.reserve(time, self.config.burst_cycles)
         self.bytes_read += self.config.burst_bytes
+        if grant != time:
+            self.conflict_cycles += grant - time
         return grant + self.config.burst_cycles
 
     def write_burst(self, time: int) -> int:
@@ -45,6 +49,8 @@ class MemoryBank(TimelineResource):
         self._require_healthy()
         grant = self.reserve(time, self.config.burst_cycles)
         self.bytes_written += self.config.burst_bytes
+        if grant != time:
+            self.conflict_cycles += grant - time
         return grant + self.config.burst_cycles
 
     def read_block(self, time: int) -> int:
@@ -52,6 +58,8 @@ class MemoryBank(TimelineResource):
         self._require_healthy()
         grant = self.reserve(time, self.config.block_cycles)
         self.bytes_read += self.config.mem_block_bytes
+        if grant != time:
+            self.conflict_cycles += grant - time
         return grant + self.config.block_cycles
 
     def write_block(self, time: int) -> int:
@@ -59,6 +67,8 @@ class MemoryBank(TimelineResource):
         self._require_healthy()
         grant = self.reserve(time, self.config.block_cycles)
         self.bytes_written += self.config.mem_block_bytes
+        if grant != time:
+            self.conflict_cycles += grant - time
         return grant + self.config.block_cycles
 
     # ------------------------------------------------------------------
@@ -76,3 +86,4 @@ class MemoryBank(TimelineResource):
         self.reset()
         self.bytes_read = 0
         self.bytes_written = 0
+        self.conflict_cycles = 0

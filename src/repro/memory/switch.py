@@ -30,20 +30,32 @@ class CrossbarSwitch:
         self.ports = [
             TimelineResource(f"{name}.port{i}") for i in range(n_ports)
         ]
+        self.transfers = 0
+        self.bytes_moved = 0
+        #: Cycles transfers waited for a busy output port.
+        self.contention_cycles = 0
 
     def transfer(self, port: int, time: int, n_bytes: int) -> int:
         """Occupy *port* long enough to move *n_bytes*; returns grant time."""
         cycles = max(1, -(-n_bytes // self.bytes_per_cycle))  # ceil division
-        return self.ports[port].reserve(time, cycles)
+        grant = self.ports[port].reserve(time, cycles)
+        self.transfers += 1
+        self.bytes_moved += n_bytes
+        if grant != time:
+            self.contention_cycles += grant - time
+        return grant
 
     def utilization(self, port: int, elapsed: int) -> float:
         """Busy fraction of one output port."""
         return self.ports[port].utilization(elapsed)
 
     def reset(self) -> None:
-        """Clear all port timelines."""
+        """Clear all port timelines and traffic counters."""
         for port in self.ports:
             port.reset()
+        self.transfers = 0
+        self.bytes_moved = 0
+        self.contention_cycles = 0
 
 
 def build_cache_switch(config: ChipConfig) -> CrossbarSwitch:

@@ -43,6 +43,12 @@ class HardwareBarrier:
         self._waiters = Waiter()
         self._registered: set[int] = set()
         self.episodes = 0
+        #: Optional telemetry histogram observing, per episode, the spread
+        #: in cycles between the first and last arrival (load imbalance).
+        self.spread_histogram = None
+        self._first_arrival: int | None = None
+        if kernel.chip.telemetry is not None:
+            kernel.chip.telemetry.attach_barrier(self, "hw")
 
     # ------------------------------------------------------------------
     def register(self, tid: int) -> None:
@@ -66,6 +72,8 @@ class HardwareBarrier:
         self.spr.arrive(ctx.tid, self.barrier_id)
         self._arrived += 1
         tu.counters.barriers += 1
+        if self.spread_histogram is not None and self._first_arrival is None:
+            self._first_arrival = tu.issue_time
         if self._arrived == self.n_participants:
             if not self.spr.current_clear(self.barrier_id):
                 raise BarrierError(
@@ -77,6 +85,12 @@ class HardwareBarrier:
             self.spr.advance_phase(self.barrier_id)
             self._arrived = 0
             self.episodes += 1
+            if self.spread_histogram is not None:
+                if self._first_arrival is not None:
+                    self.spread_histogram.observe(
+                        tu.issue_time - self._first_arrival
+                    )
+                self._first_arrival = None
             for waiting_ctx in self._waiters.wake_all():
                 self.kernel.scheduler.wake(waiting_ctx.process, release)
             tu.spin_to(release)

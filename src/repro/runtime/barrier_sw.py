@@ -45,6 +45,13 @@ class TreeBarrier:
         #: Episode number per node, tracked software-side (the words in
         #: memory carry the same values; this avoids a bootstrap read).
         self._episode = [0] * n_participants
+        #: Optional telemetry histogram observing, per episode, the spread
+        #: in cycles between the first entry and the root's gather
+        #: completion (tree depth + load imbalance).
+        self.spread_histogram = None
+        self._first_entry: int | None = None
+        if kernel.chip.telemetry is not None:
+            kernel.chip.telemetry.attach_barrier(self, "sw")
 
     # ------------------------------------------------------------------
     @property
@@ -74,6 +81,10 @@ class TreeBarrier:
         episode = self._episode[node] + 1
         self._episode[node] = episode
         left, right = 2 * node + 1, 2 * node + 2
+        if self.spread_histogram is not None:
+            entry = ctx.tu.issue_time
+            if self._first_entry is None or entry < self._first_entry:
+                self._first_entry = entry
 
         # Gather phase: wait for the children's subtrees.
         if left < self.n:
@@ -90,6 +101,14 @@ class TreeBarrier:
             yield from ctx.spin_until(
                 self._release_ea(node), lambda v: v >= episode
             )
+        if node == 0 and self.spread_histogram is not None:
+            # The root finishes gathering only after every node entered,
+            # so the spread covers the whole arrival window.
+            if self._first_entry is not None:
+                self.spread_histogram.observe(
+                    ctx.tu.issue_time - self._first_entry
+                )
+            self._first_entry = None
         # Release phase: forward downward.
         if left < self.n:
             yield from ctx.store_u32(self._release_ea(left), episode)

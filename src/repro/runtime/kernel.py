@@ -73,6 +73,8 @@ class Kernel:
         self.config = chip.config
         self.policy = policy
         self.scheduler = Scheduler()
+        if chip.telemetry is not None:
+            chip.telemetry.attach_kernel(self)
         stack_area = self.config.stack_bytes * self.config.n_threads
         usable_memory = chip.memory.address_map.max_memory
         if stack_area >= usable_memory:

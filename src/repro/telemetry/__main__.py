@@ -1,0 +1,220 @@
+"""``python -m repro.telemetry`` — run any workload fully instrumented.
+
+Boots a chip with metrics (and optionally tracing) enabled, runs one
+registered workload, and writes a :class:`~repro.telemetry.report.RunReport`
+plus an optional Chrome trace::
+
+    python -m repro.telemetry --workload stream --threads 126 \
+        --trace out.trace.json --report out.report.json
+    python -m repro.telemetry --workload fft --size 1024 --barrier sw
+    python -m repro.telemetry --workload dgemm --size 32 --report r.json
+
+``--size`` is each workload's primary problem dimension (elements,
+points, matrix order, keys, grid, bodies, particles, image width).
+Without ``--report`` the report prints to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.config import ChipConfig
+from repro.core.chip import Chip
+from repro.engine.tracing import NULL_TRACER, Tracer
+from repro.errors import CyclopsError
+from repro.runtime.kernel import AllocationPolicy
+from repro.telemetry.chrome_trace import write_chrome_trace
+from repro.telemetry.hostprof import HostProfiler
+from repro.telemetry.instrument import instrument
+from repro.telemetry.metrics import MetricsRegistry, NULL_METRICS
+from repro.telemetry.report import build_report
+
+WORKLOADS = ("stream", "fft", "lu", "radix", "ocean", "barnes", "fmm",
+             "md", "raytrace", "dgemm")
+
+#: Default --size per workload (each one's primary dimension).
+DEFAULT_SIZE = {
+    "stream": 32 * 400, "fft": 1024, "lu": 48, "radix": 4096, "ocean": 66,
+    "barnes": 128, "fmm": 128, "md": 128, "raytrace": 32, "dgemm": 32,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Run one Cyclops workload with full instrumentation "
+                    "and emit a RunReport (+ optional Chrome trace).",
+    )
+    parser.add_argument("--workload", required=True, choices=WORKLOADS)
+    parser.add_argument("--threads", type=int, default=16)
+    parser.add_argument("--size", type=int, default=None,
+                        help="primary problem size (workload-specific)")
+    parser.add_argument("--policy", choices=["sequential", "balanced"],
+                        default="sequential")
+    # stream-specific knobs
+    parser.add_argument("--kernel", default="triad",
+                        choices=["copy", "scale", "add", "triad"])
+    parser.add_argument("--partition", choices=["block", "cyclic"],
+                        default="block")
+    parser.add_argument("--local-caches", action="store_true")
+    parser.add_argument("--unroll", type=int, default=1)
+    # fft-specific knob
+    parser.add_argument("--barrier", choices=["hw", "sw"], default="hw")
+    # outputs
+    parser.add_argument("--report", default=None,
+                        help="write the RunReport JSON here (default: stdout)")
+    parser.add_argument("--trace", default=None,
+                        help="write a Chrome Trace Event JSON here")
+    parser.add_argument("--trace-capacity", type=int, default=200_000,
+                        help="max retained tracer records (deque bound)")
+    parser.add_argument("--no-metrics", action="store_true",
+                        help="run with telemetry disabled (overhead checks)")
+    return parser
+
+
+def _run_workload(args, chip: Chip) -> tuple[dict, dict]:
+    """Dispatch to one workload driver; returns (params, results) dicts."""
+    policy = AllocationPolicy.BALANCED if args.policy == "balanced" \
+        else AllocationPolicy.SEQUENTIAL
+    size = args.size if args.size is not None else DEFAULT_SIZE[args.workload]
+    n = args.threads
+
+    if args.workload == "stream":
+        from repro.workloads.stream import StreamParams, run_stream
+        params = StreamParams(
+            kernel=args.kernel, n_elements=size, n_threads=n,
+            partition=args.partition, local_caches=args.local_caches,
+            unroll=args.unroll, policy=policy,
+        )
+        result = run_stream(params, chip=chip)
+        return (
+            {"kernel": args.kernel, "elements": size, "threads": n,
+             "partition": args.partition, "local_caches": args.local_caches,
+             "unroll": args.unroll, "policy": args.policy},
+            {"cycles": result.cycles,
+             "bandwidth_gb_s": result.bandwidth_gb_s,
+             "mean_thread_bandwidth_mb_s":
+                 result.mean_thread_bandwidth_mb_s,
+             "verified": result.verified},
+        )
+    if args.workload == "fft":
+        from repro.workloads.fft import FFTParams, run_fft
+        params = FFTParams(n_points=size, n_threads=n,
+                           barrier=args.barrier, policy=policy)
+        result = run_fft(params, chip=chip)
+        return (
+            {"points": size, "threads": n, "barrier": args.barrier,
+             "policy": args.policy},
+            {"cycles": result.total_cycles,
+             "run_cycles": result.run_cycles,
+             "stall_cycles": result.stall_cycles,
+             "verified": result.verified},
+        )
+
+    if args.workload == "lu":
+        from repro.workloads.lu import LUParams, run_lu
+        params = LUParams(n=size, block=min(8, size), n_threads=n,
+                          policy=policy)
+        result = run_lu(params, chip=chip)
+    elif args.workload == "radix":
+        from repro.workloads.radix import RadixParams, run_radix
+        params = RadixParams(n_keys=size, n_threads=n, policy=policy)
+        result = run_radix(params, chip=chip)
+    elif args.workload == "ocean":
+        from repro.workloads.ocean import OceanParams, run_ocean
+        params = OceanParams(grid=size, iterations=2, n_threads=n,
+                             policy=policy)
+        result = run_ocean(params, chip=chip)
+    elif args.workload == "barnes":
+        from repro.workloads.barnes import BarnesParams, run_barnes
+        params = BarnesParams(n_bodies=size, n_threads=n, policy=policy)
+        result = run_barnes(params, chip=chip)
+    elif args.workload == "fmm":
+        from repro.workloads.fmm import FMMParams, run_fmm
+        params = FMMParams(n_bodies=size, levels=3, n_threads=n,
+                           policy=policy)
+        result = run_fmm(params, chip=chip)
+    elif args.workload == "md":
+        from repro.workloads.md import MDParams, run_md
+        params = MDParams(n_particles=size, n_threads=n, policy=policy)
+        result = run_md(params, chip=chip)
+    elif args.workload == "raytrace":
+        from repro.workloads.raytrace import RayTraceParams, run_raytrace
+        params = RayTraceParams(width=size, height=max(1, (size * 3) // 4),
+                                n_threads=n, policy=policy)
+        result = run_raytrace(params, chip=chip)
+    else:  # dgemm
+        from repro.workloads.dgemm import DgemmParams, run_dgemm
+        params = DgemmParams(n=size, block=min(8, size), n_threads=n,
+                             policy=policy)
+        result = run_dgemm(params, chip=chip)
+
+    results = {"cycles": result.cycles, "verified": result.verified}
+    return ({"size": size, "threads": n, "policy": args.policy}, results)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    profiler = HostProfiler()
+
+    with profiler.phase("setup"):
+        tracer = Tracer(capacity=args.trace_capacity) if args.trace \
+            else NULL_TRACER
+        chip = Chip(ChipConfig.paper(), tracer=tracer)
+        registry = NULL_METRICS if args.no_metrics else MetricsRegistry()
+        inst = instrument(chip, registry=registry)
+
+    try:
+        with profiler.phase("simulate"):
+            params, results = _run_workload(args, chip)
+    except CyclopsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    from repro.analysis.utilization import chip_elapsed
+
+    scheduler = inst.kernel.scheduler if inst.kernel is not None else None
+    if scheduler is not None:
+        profiler.set_work("simulate", cycles=scheduler.now,
+                          events=scheduler.steps)
+    inst.harvest(elapsed=chip_elapsed(chip), scheduler=scheduler)
+
+    with profiler.phase("export"):
+        for out in (args.trace, args.report):
+            if out:
+                parent = pathlib.Path(out).parent
+                if parent != pathlib.Path("."):
+                    parent.mkdir(parents=True, exist_ok=True)
+        report = build_report(
+            chip, args.workload, params=params, registry=registry,
+            profiler=profiler, results=results,
+        )
+        if args.trace:
+            n_events = write_chrome_trace(
+                args.trace, chip=chip, tracer=tracer,
+                metadata={"workload": args.workload},
+            )
+            print(f"wrote {n_events} trace events to {args.trace}",
+                  file=sys.stderr)
+        if args.report:
+            report.write(args.report)
+            print(f"wrote report to {args.report}", file=sys.stderr)
+        else:
+            print(report.to_json())
+
+    simulate = profiler["simulate"]
+    rates = simulate.rates()
+    note = f"simulated {report.elapsed_cycles} cycles " \
+           f"in {simulate.seconds:.2f}s host time"
+    if "cycles_per_sec" in rates:
+        note += (f" ({rates['cycles_per_sec'] / 1e3:.0f}k cycles/s, "
+                 f"{rates['events_per_sec'] / 1e3:.0f}k events/s)")
+    print(note, file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

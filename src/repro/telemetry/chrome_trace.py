@@ -1,0 +1,139 @@
+"""Chrome Trace Event Format export.
+
+Converts a finished run into the JSON object format that
+``chrome://tracing`` and Perfetto load directly: one timeline row per
+thread unit showing its active span (with run/stall/instruction counts
+as hoverable args), plus one instant event per :class:`Tracer` record,
+grouped into rows by event source (``cache7``, ``bank3``, ...).
+
+Timestamps are simulated *cycles* reported in the format's microsecond
+field — the viewer's time axis then reads directly in cycles, which is
+what you want for a cycle-accurate simulator. The format reference is
+the "Trace Event Format" document; only ``X`` (complete), ``i``
+(instant), and ``M`` (metadata) phases are used, all of which every
+viewer supports.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.chip import Chip
+from repro.engine.tracing import Tracer
+
+#: pid used for the per-thread-unit timeline rows.
+CHIP_PID = 1
+#: pid used for tracer-event rows (one tid per event source).
+TRACE_PID = 2
+
+
+def thread_unit_events(chip: Chip) -> list[dict[str, Any]]:
+    """One complete ("X") span per thread unit that did any work.
+
+    The span covers the unit's architectural lifetime (start to finish
+    time); its args carry the Figure 7 decomposition so the viewer shows
+    run/stall totals on hover.
+    """
+    events: list[dict[str, Any]] = [{
+        "ph": "M", "pid": CHIP_PID, "name": "process_name",
+        "args": {"name": "chip: thread units"},
+    }]
+    for tu in chip.threads:
+        c = tu.counters
+        if not (c.instructions or c.run_cycles or c.stall_cycles):
+            continue
+        finish = c.finish_time or tu.issue_time
+        events.append({
+            "ph": "M", "pid": CHIP_PID, "tid": tu.tid,
+            "name": "thread_name",
+            "args": {"name": f"tu{tu.tid} (quad {tu.quad_id})"},
+        })
+        events.append({
+            "name": "active",
+            "ph": "X",
+            "pid": CHIP_PID,
+            "tid": tu.tid,
+            "ts": c.start_time,
+            "dur": max(1, finish - c.start_time),
+            "args": {
+                "instructions": c.instructions,
+                "run_cycles": c.run_cycles,
+                "stall_cycles": c.stall_cycles,
+                "stall_events": c.stall_events,
+                "flops": c.flops,
+                "loads": c.loads,
+                "stores": c.stores,
+                "barriers": c.barriers,
+            },
+        })
+    return events
+
+
+def tracer_events(tracer: Tracer) -> list[dict[str, Any]]:
+    """One instant ("i") event per trace record, one row per source."""
+    events: list[dict[str, Any]] = []
+    tids: dict[str, int] = {}
+    if tracer.records:
+        events.append({
+            "ph": "M", "pid": TRACE_PID, "name": "process_name",
+            "args": {"name": "traced events"},
+        })
+    for record in tracer.records:
+        tid = tids.get(record.source)
+        if tid is None:
+            tid = len(tids)
+            tids[record.source] = tid
+            events.append({
+                "ph": "M", "pid": TRACE_PID, "tid": tid,
+                "name": "thread_name", "args": {"name": record.source},
+            })
+        events.append({
+            "name": record.event,
+            "ph": "i",
+            "s": "t",
+            "pid": TRACE_PID,
+            "tid": tid,
+            "ts": record.time,
+            "args": {"detail": record.detail} if record.detail else {},
+        })
+    return events
+
+
+def chrome_trace(chip: Chip | None = None, tracer: Tracer | None = None,
+                 metadata: dict[str, Any] | None = None) -> dict[str, Any]:
+    """The full trace document (JSON object format)."""
+    events: list[dict[str, Any]] = []
+    if chip is not None:
+        events.extend(thread_unit_events(chip))
+    if tracer is not None:
+        events.extend(tracer_events(tracer))
+    doc: dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"time_unit": "cycles"},
+    }
+    if metadata:
+        doc["otherData"].update(metadata)
+    return doc
+
+
+def to_json(chip: Chip | None = None, tracer: Tracer | None = None,
+            metadata: dict[str, Any] | None = None, indent: int | None = None
+            ) -> str:
+    """The trace document serialized to a JSON string."""
+    return json.dumps(chrome_trace(chip, tracer, metadata), indent=indent)
+
+
+def write_chrome_trace(path, chip: Chip | None = None,
+                       tracer: Tracer | None = None,
+                       metadata: dict[str, Any] | None = None) -> int:
+    """Write the trace to *path*; returns the number of events written."""
+    doc = chrome_trace(chip, tracer, metadata)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])
+
+
+__all__ = ["chrome_trace", "thread_unit_events", "tracer_events",
+           "to_json", "write_chrome_trace", "CHIP_PID", "TRACE_PID"]

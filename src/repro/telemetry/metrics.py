@@ -1,0 +1,245 @@
+"""Labeled metrics: Counter / Gauge / Histogram behind a registry.
+
+Components ask the registry for instruments by name plus label key-value
+pairs; asking twice with the same name and labels returns the same
+instrument, so call sites never coordinate. A disabled registry
+(:data:`NULL_METRICS`, the same NULL-object pattern as
+:data:`~repro.engine.tracing.NULL_TRACER`) hands out shared do-nothing
+instruments and allocates nothing per call, so instrumented code pays one
+method dispatch when telemetry is off.
+
+Histograms keep raw samples (simulations are small enough that exact
+percentiles beat bucketed approximations) with an optional cap that keeps
+a uniform-ish prefix by freezing the sample list and continuing to track
+count/total/min/max exactly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TelemetryError
+
+
+def _label_key(labels: dict[str, object]) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+def format_labels(labels: dict[str, object]) -> str:
+    """Render labels the Prometheus way: ``name{k="v",...}`` body."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing count (instructions, hits, bytes)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict[str, object]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add *amount* (must not be negative) to the count."""
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name} cannot decrease (inc({amount}))"
+            )
+        self.value += amount
+
+    def snapshot(self) -> int | float:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value that can move both ways (depth, busy %)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict[str, object]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the gauge by *amount* (may be negative)."""
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Sampled distribution with exact percentile summaries."""
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max",
+                 "_samples", "_cap")
+
+    def __init__(self, name: str, labels: dict[str, object],
+                 sample_cap: int | None = None) -> None:
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._samples: list[float] = []
+        self._cap = sample_cap
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self._cap is None or len(self._samples) < self._cap:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the retained samples."""
+        if not 0 <= p <= 100:
+            raise TelemetryError(f"percentile {p} outside [0, 100]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, int(round(p / 100.0 * len(ordered))) - 1)
+        return ordered[rank]
+
+    def snapshot(self) -> dict[str, float]:
+        """Count, mean, extremes, and the standard percentile ladder."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument, keyed by name + labels."""
+
+    enabled = True
+
+    #: Default cap on retained histogram samples (exact stats continue).
+    sample_cap: int | None = 65536
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, tuple], object] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, cls, name: str, labels: dict[str, object], **kwargs):
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, labels, **kwargs)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise TelemetryError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, /, **labels) -> Counter:
+        """The counter registered under *name* and *labels*."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, /, **labels) -> Gauge:
+        """The gauge registered under *name* and *labels*."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, /, **labels) -> Histogram:
+        """The histogram registered under *name* and *labels*."""
+        return self._get(Histogram, name, labels, sample_cap=self.sample_cap)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self):
+        return iter(self._instruments.values())
+
+    def clear(self) -> None:
+        """Forget every instrument (fresh run)."""
+        self._instruments.clear()
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-safe dump: ``{counters: {...}, gauges: ..., histograms: ...}``.
+
+        Keys are ``name{label="value",...}`` strings, so two instruments
+        never collide and the artifact stays grep-friendly.
+        """
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for instrument in self._instruments.values():
+            key = instrument.name + format_labels(instrument.labels)
+            if isinstance(instrument, Counter):
+                out["counters"][key] = instrument.snapshot()
+            elif isinstance(instrument, Histogram):
+                out["histograms"][key] = instrument.snapshot()
+            else:
+                out["gauges"][key] = instrument.snapshot()
+        return out
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null", {})
+_NULL_GAUGE = _NullGauge("null", {})
+_NULL_HISTOGRAM = _NullHistogram("null", {})
+
+
+class _NullRegistry(MetricsRegistry):
+    """Disabled path: shared no-op instruments, zero allocation per call."""
+
+    enabled = False
+
+    def counter(self, name: str, /, **labels) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, /, **labels) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, /, **labels) -> Histogram:
+        return _NULL_HISTOGRAM
+
+
+#: Shared do-nothing registry used when metrics are off.
+NULL_METRICS = _NullRegistry()

@@ -1,0 +1,145 @@
+"""Structured run reports: one JSON artifact per instrumented run.
+
+A :class:`RunReport` merges everything the other telemetry pieces know —
+chip counters (the Figure 7 run/stall decomposition), a metrics registry
+snapshot, the utilization breakdown, and host-side profiling — into one
+dataclass that round-trips through JSON. Experiments, the telemetry CLI,
+and CI smoke checks all emit and consume this shape.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from repro.core.chip import Chip
+from repro.core.counters import ChipCounters, ThreadCounters
+
+
+def chip_counters(chip: Chip) -> ChipCounters:
+    """The chip's per-thread counters gathered into a :class:`ChipCounters`.
+
+    The returned object *references* the live ``ThreadCounters`` blocks
+    (no copies), so ``aggregate()`` always reflects current state.
+    """
+    counters = ChipCounters()
+    for tu in chip.threads:
+        counters.threads[tu.tid] = tu.counters
+    return counters
+
+
+def _counters_dict(c: ThreadCounters) -> dict[str, int]:
+    return {
+        "instructions": c.instructions,
+        "run_cycles": c.run_cycles,
+        "stall_cycles": c.stall_cycles,
+        "stall_events": c.stall_events,
+        "flops": c.flops,
+        "loads": c.loads,
+        "stores": c.stores,
+        "barriers": c.barriers,
+    }
+
+
+@dataclass
+class RunReport:
+    """One instrumented run, serialized as a single JSON document."""
+
+    workload: str
+    params: dict[str, Any] = field(default_factory=dict)
+    config: dict[str, Any] = field(default_factory=dict)
+    elapsed_cycles: int = 0
+    #: Chip-wide totals — matches ``ChipCounters.aggregate()`` by
+    #: construction (see :func:`build_report`).
+    aggregate: dict[str, int] = field(default_factory=dict)
+    #: Per-thread-unit counters for units that did any work.
+    threads: dict[str, dict[str, int]] = field(default_factory=dict)
+    utilization: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    host: dict[str, Any] = field(default_factory=dict)
+    results: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """A plain JSON-safe dictionary."""
+        return asdict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        """The report as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path) -> None:
+        """Write the report to *path* as JSON."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+
+def build_report(chip: Chip, workload: str,
+                 params: dict[str, Any] | None = None,
+                 registry=None, profiler=None,
+                 elapsed: int | None = None,
+                 results: dict[str, Any] | None = None) -> RunReport:
+    """Assemble a :class:`RunReport` from a finished run on *chip*.
+
+    The ``aggregate`` block is taken from
+    ``chip_counters(chip).aggregate()`` so the report's run/stall totals
+    are the chip counters' by construction, never a re-derivation.
+    """
+    from repro.analysis.utilization import chip_elapsed, utilization
+
+    if elapsed is None:
+        elapsed = chip_elapsed(chip)
+    aggregate = chip_counters(chip).aggregate()
+    threads = {
+        str(tu.tid): _counters_dict(tu.counters)
+        for tu in chip.threads
+        if tu.counters.instructions or tu.counters.run_cycles
+        or tu.counters.stall_cycles
+    }
+    util = utilization(chip, elapsed)
+    cfg = chip.config
+    report = RunReport(
+        workload=workload,
+        params=dict(params or {}),
+        config={
+            "n_threads": cfg.n_threads,
+            "n_quads": cfg.n_quads,
+            "n_banks": cfg.n_memory_banks,
+            "clock_hz": cfg.clock_hz,
+        },
+        elapsed_cycles=elapsed,
+        aggregate=_counters_dict(aggregate),
+        threads=threads,
+        utilization={
+            "ipc": util.ipc,
+            "flops_per_cycle": util.flops_per_cycle,
+            "fpu_add": util.fpu_add,
+            "fpu_mul": util.fpu_mul,
+            "fpu_div": util.fpu_div,
+            "cache_ports": util.cache_ports,
+            "banks": util.banks,
+            "bank_peak": util.bank_peak,
+            "access_kinds": {k: v for k, v in util.kind_counts.items() if v},
+        },
+        results=dict(results or {}),
+    )
+    if registry is not None and registry.enabled:
+        report.metrics = registry.snapshot()
+    if profiler is not None:
+        report.host = profiler.summary()
+    return report
+
+
+__all__ = ["RunReport", "build_report", "chip_counters"]
