@@ -27,6 +27,9 @@ from repro.errors import DeadlockError, SimulationError
 #: Sentinel yielded by a process that parks itself until woken.
 BLOCK = object()
 
+#: Internal sentinel: a process's generator raised ``StopIteration``.
+_FINISHED = object()
+
 ProcessBody = Generator[Any, int, None]
 
 
@@ -124,24 +127,74 @@ class Scheduler:
         """
         queue = self.queue
         probe = self.probe  # hoisted: attach probes before run(), not during
-        step = self._step
+        pop = queue.pop
+        push = queue.push
         steps = 0
+        # The body below is :meth:`_step` inlined into the resume loop —
+        # one Python frame per process resumption is measurable at the
+        # millions-of-events scale (see docs/performance.md).
         try:
-            while queue:
-                if until is not None and queue.peek_time() > until:
+            while queue.n:
+                if until is not None and queue.next_time > until:
                     self.now = until
                     return self.now
-                time, process = queue.pop()
+                time, process = pop()
                 if time < self.now:
                     raise SimulationError(
                         f"time went backwards: {time} < {self.now}"
                     )
                 self.now = time
                 process.time = time
-                step(process)
-                steps += 1
-                if probe is not None:
-                    probe(len(queue), time)
+                send = process.gen.send
+                if process.started:
+                    value = time
+                else:
+                    process.started = True
+                    value = None  # first resume: next(gen) == send(None)
+                while True:
+                    try:
+                        request = send(value)
+                    except StopIteration:
+                        request = _FINISHED
+                    steps += 1
+                    if probe is not None:
+                        probe(queue.n, time)
+                    if isinstance(request, int):
+                        if request < time:
+                            raise SimulationError(
+                                f"{process.name} rescheduled into the past "
+                                f"({request} < {time})"
+                            )
+                        process.time = request
+                        # Fast path: the process rescheduled itself at a
+                        # time strictly before every queued event (it
+                        # would pop next anyway), so resume it directly
+                        # and skip the heap round-trip. Ties must go
+                        # through the queue — FIFO order says earlier-
+                        # pushed events run first — and so must anything
+                        # past the `until` horizon.
+                        if (until is not None and request > until) or \
+                                (queue.n and request >= queue.next_time):
+                            push(request, process)
+                            break
+                        if request != time:
+                            time = request
+                            self.now = request
+                        value = request
+                        continue
+                    if request is _FINISHED:
+                        self._n_live -= 1
+                        process._finish()
+                        break
+                    if request is BLOCK:
+                        process.blocked = True
+                        self._n_parked += 1
+                        self._parked_processes.add(process)
+                        break
+                    raise SimulationError(
+                        f"{process.name} yielded {request!r}; "
+                        f"expected int time or BLOCK"
+                    )
         finally:
             self.steps += steps
         if self._n_parked and self._n_live:
@@ -154,35 +207,6 @@ class Scheduler:
                 f"work at t={self.now}: {shown}"
             )
         return self.now
-
-    def _step(self, process: Process) -> None:
-        """Resume *process* once and interpret what it yields."""
-        try:
-            if process.started:
-                request = process.gen.send(process.time)
-            else:
-                process.started = True
-                request = next(process.gen)
-        except StopIteration:
-            self._n_live -= 1
-            process._finish()
-            return
-        if request is BLOCK:
-            process.blocked = True
-            self._n_parked += 1
-            self._parked_processes.add(process)
-            return
-        if not isinstance(request, int):
-            raise SimulationError(
-                f"{process.name} yielded {request!r}; expected int time or BLOCK"
-            )
-        if request < process.time:
-            raise SimulationError(
-                f"{process.name} rescheduled into the past "
-                f"({request} < {process.time})"
-            )
-        process.time = request
-        self.queue.push(request, process)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -12,6 +12,18 @@ Each thread is a scheduler process executing its program in order:
 * **complete** — possibly out of order: the destination register's ready
   time is set to issue + execution + latency per Table 2.
 
+Dispatch is **threaded code**: the first time a program runs, every
+static instruction is compiled once into a small closure specialized on
+its decoded fields (operand registers, immediate, branch target, latency
+row — all resolved at compile time), and the fetch/issue/complete loop
+makes one direct call per dynamic instruction. Handlers for thread-
+private units (ALU, branches, system ops) are plain functions; handlers
+that touch shared hardware (memory, FPU, SPR) are generators that
+synchronize with the global event order before reserving anything. The
+compiled table is cached on the :class:`Program` keyed by the latency
+table, so re-running or sharing a program across threads compiles
+nothing.
+
 The same :class:`~repro.core.chip.Chip` hardware backs this layer and
 the direct-execution runtime, so Table 2 microbenchmarks written in
 assembly validate the timing model the workloads run on.
@@ -19,6 +31,7 @@ assembly validate the timing model the workloads run on.
 
 from __future__ import annotations
 
+import math
 import struct
 
 from repro.core.chip import Chip
@@ -27,7 +40,7 @@ from repro.core.thread_unit import ThreadUnit
 from repro.engine.scheduler import Scheduler
 from repro.errors import ExecutionError
 from repro.isa.instruction import Instruction
-from repro.isa.opcodes import UnitClass
+from repro.isa.opcodes import ALU_UNITS, FPU_UNITS, UnitClass
 from repro.isa.program import Program
 from repro.isa.registers import REG_LINK, RegisterFile
 
@@ -43,11 +56,18 @@ def _signed(value: int) -> int:
 
 
 class _ThreadState:
-    """Interpreter-side state of one hardware thread."""
+    """Interpreter-side state of one hardware thread.
 
-    __slots__ = ("tu", "regs", "ready", "pc", "pib", "program", "halted")
+    Carries direct references to the shared hardware a handler touches
+    (memory, backing store, this quad's FPU, the barrier SPR file) so
+    compiled handlers reach them in one attribute load.
+    """
 
-    def __init__(self, tu: ThreadUnit, program: Program) -> None:
+    __slots__ = ("tu", "regs", "ready", "pc", "pib", "program", "halted",
+                 "memory", "backing", "fpu", "spr")
+
+    def __init__(self, tu: ThreadUnit, program: Program,
+                 chip: Chip) -> None:
         self.tu = tu
         self.regs = RegisterFile()
         #: Scoreboard: cycle at which each register's value is ready.
@@ -56,6 +76,10 @@ class _ThreadState:
         self.pib = PrefetchBuffer(tu.config)
         self.program = program
         self.halted = False
+        self.memory = chip.memory
+        self.backing = chip.memory.backing
+        self.fpu = chip.fpu_of(tu.tid)
+        self.spr = chip.barrier_spr
 
 
 class Interpreter:
@@ -75,7 +99,7 @@ class Interpreter:
         if tid in self.states:
             raise ExecutionError(f"thread {tid} already has a program")
         tu = self.chip.thread(tid)
-        state = _ThreadState(tu, program)
+        state = _ThreadState(tu, program, self.chip)
         for reg, value in (init_regs or {}).items():
             state.regs.write(reg, value)
         for reg, value in (init_doubles or {}).items():
@@ -94,370 +118,539 @@ class Interpreter:
     def _thread_proc(self, state: _ThreadState):
         tu = state.tu
         program = state.program
+        handlers = compile_program(program, self.chip.config.latency)
+        n = len(handlers)
+        model_fetch = self.model_fetch
+        pib = state.pib
+        base = program.base
         while not state.halted:
-            if not 0 <= state.pc < len(program):
+            pc = state.pc
+            if pc < 0 or pc >= n:
                 raise ExecutionError(
-                    f"thread {tu.tid}: pc {state.pc} outside program"
+                    f"thread {tu.tid}: pc {pc} outside program"
                 )
-            address = program.address_of(state.pc)
-            if self.model_fetch and not state.pib.holds(address):
-                now = yield tu.issue_time
-                icache = self.chip.icache_of(tu.tid)
-                ready, _ = icache.fetch(
-                    now, address, self.chip.memory.banks,
-                    self.chip.memory.address_map,
-                )
-                tu.issue_at(ready)
-                state.pib.refill(address)
-            inst = program[state.pc]
-            yield from self._execute(state, inst)
+            if model_fetch:
+                address = base + 4 * pc
+                if not pib.holds(address):
+                    now = yield tu.issue_time
+                    icache = self.chip.icache_of(tu.tid)
+                    ready, _ = icache.fetch(
+                        now, address, self.chip.memory.banks,
+                        self.chip.memory.address_map,
+                    )
+                    tu.issue_at(ready)
+                    pib.refill(address)
+            is_gen, handler = handlers[pc]
+            if is_gen:
+                yield from handler(state)
+            else:
+                handler(state)
         # Sync the process clock to the architectural finish time, so
         # run() reports real cycles even for programs that never touch
         # shared resources (pure ALU work advances only the local clock).
         yield tu.issue_time
 
-    # ------------------------------------------------------------------
-    # Execution (functional + timing per unit class)
-    # ------------------------------------------------------------------
-    def _execute(self, state: _ThreadState, inst: Instruction):
-        unit = inst.opcode.unit
-        if unit in (UnitClass.ALU, UnitClass.ALU_MUL, UnitClass.ALU_DIV):
-            self._exec_alu(state, inst)
-        elif unit is UnitClass.BRANCH:
-            self._exec_branch(state, inst)
-        elif unit in (UnitClass.LOAD, UnitClass.STORE, UnitClass.ATOMIC):
-            yield from self._exec_memory(state, inst)
-        elif unit in (UnitClass.FPU_ADD, UnitClass.FPU_MUL, UnitClass.FPU_FMA,
-                      UnitClass.FPU_DIV, UnitClass.FPU_SQRT, UnitClass.FPU_CVT):
-            yield from self._exec_fpu(state, inst)
-        elif unit is UnitClass.SPR:
-            yield from self._exec_spr(state, inst)
-        else:
-            self._exec_system(state, inst)
 
-    # --- helpers ---------------------------------------------------------
-    def _deps(self, state: _ThreadState, *regs: int) -> int:
-        earliest = state.tu.issue_time
-        for reg in regs:
-            t = state.ready[reg]
+# ---------------------------------------------------------------------------
+# Threaded-code compilation
+#
+# Each static instruction compiles once into a handler closure over its
+# decoded fields; dynamic execution is one call, with no opcode
+# comparisons and no per-execution latency-table lookups. A handler
+# entry is ``(is_generator, fn)``.
+# ---------------------------------------------------------------------------
+def compile_program(program: Program, lat) -> list:
+    """The program's handler table for latency table *lat* (cached)."""
+    cached = program._threaded
+    if cached is not None and cached[0] is lat:
+        return cached[1]
+    handlers = [
+        _compile_instruction(index, inst, program, lat)
+        for index, inst in enumerate(program.instructions)
+    ]
+    program._threaded = (lat, handlers)
+    return handlers
+
+
+def _compile_instruction(index: int, inst: Instruction, program: Program,
+                         lat):
+    unit = inst.opcode.unit
+    if unit in ALU_UNITS:
+        return False, _compile_alu(index, inst, lat)
+    if unit is UnitClass.BRANCH:
+        return False, _compile_branch(index, inst, program, lat)
+    if unit is UnitClass.ATOMIC:
+        return True, _compile_atomic(index, inst)
+    if unit in (UnitClass.LOAD, UnitClass.STORE):
+        return True, _compile_memory(index, inst)
+    if unit in FPU_UNITS:
+        return True, _compile_fpu(index, inst, lat)
+    if unit is UnitClass.SPR:
+        return True, _compile_spr(index, inst)
+    return False, _compile_system(index, inst)
+
+
+# --- fixed point -----------------------------------------------------------
+def _div_by_zero(tu: ThreadUnit) -> ExecutionError:
+    return ExecutionError(f"thread {tu.tid}: divide by zero")
+
+
+def _div(a, b, imm, tu):
+    if b == 0:
+        raise _div_by_zero(tu)
+    return int(_signed(a) / _signed(b))
+
+
+def _divu(a, b, imm, tu):
+    if b == 0:
+        raise _div_by_zero(tu)
+    return a // b
+
+
+def _rem(a, b, imm, tu):
+    if b == 0:
+        raise _div_by_zero(tu)
+    return int(math.fmod(_signed(a), _signed(b)))
+
+
+#: value(a, b, imm, tu) per ALU mnemonic (a, b are the u32 register
+#: values; masking to 32 bits happens at writeback).
+_ALU_VALUE = {
+    "add": lambda a, b, imm, tu: a + b,
+    "sub": lambda a, b, imm, tu: a - b,
+    "and": lambda a, b, imm, tu: a & b,
+    "or": lambda a, b, imm, tu: a | b,
+    "xor": lambda a, b, imm, tu: a ^ b,
+    "nor": lambda a, b, imm, tu: ~(a | b),
+    "slt": lambda a, b, imm, tu: int(_signed(a) < _signed(b)),
+    "sltu": lambda a, b, imm, tu: int(a < b),
+    "sll": lambda a, b, imm, tu: a << (b & 31),
+    "srl": lambda a, b, imm, tu: a >> (b & 31),
+    "sra": lambda a, b, imm, tu: _signed(a) >> (b & 31),
+    "addi": lambda a, b, imm, tu: a + imm,
+    "andi": lambda a, b, imm, tu: a & (imm & _U32),
+    "ori": lambda a, b, imm, tu: a | (imm & _U32),
+    "xori": lambda a, b, imm, tu: a ^ (imm & _U32),
+    "slti": lambda a, b, imm, tu: int(_signed(a) < imm),
+    "sltiu": lambda a, b, imm, tu: int(a < (imm & _U32)),
+    "slli": lambda a, b, imm, tu: a << (imm & 31),
+    "srli": lambda a, b, imm, tu: a >> (imm & 31),
+    "srai": lambda a, b, imm, tu: _signed(a) >> (imm & 31),
+    "lui": lambda a, b, imm, tu: (imm & 0x1FFF) << 19,
+    "mul": lambda a, b, imm, tu: (_signed(a) * _signed(b)) & _U32,
+    "mulhu": lambda a, b, imm, tu: (a * b) >> 32,
+    "div": _div,
+    "divu": _divu,
+    "rem": _rem,
+}
+
+
+def _compile_alu(index: int, inst: Instruction, lat):
+    value_fn = _ALU_VALUE[inst.opcode.name]
+    row = getattr(lat, inst.opcode.latency_row)
+    ra, rb, rd, imm = inst.ra, inst.rb, inst.rd, inst.imm
+    next_pc = index + 1
+
+    def run(state: _ThreadState) -> None:
+        regs = state.regs
+        tu = state.tu
+        value = value_fn(regs.read(ra), regs.read(rb), imm, tu)
+        ready = state.ready
+        earliest = tu.issue_time
+        t = ready[ra]
+        if t > earliest:
+            earliest = t
+        t = ready[rb]
+        if t > earliest:
+            earliest = t
+        regs.write(rd, value & _U32)
+        ready[rd] = tu.execute_local(earliest, row)
+        state.pc = next_pc
+
+    return run
+
+
+# --- branches --------------------------------------------------------------
+_BRANCH_COND = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: _signed(a) < _signed(b),
+    "bge": lambda a, b: _signed(a) >= _signed(b),
+    "bltu": lambda a, b: a < b,
+    "bgeu": lambda a, b: a >= b,
+}
+
+
+def _compile_branch(index: int, inst: Instruction, program: Program, lat):
+    name = inst.opcode.name
+    row = lat.branch
+    ra, rb, rd = inst.ra, inst.rb, inst.rd
+    next_pc = index + 1
+
+    cond = _BRANCH_COND.get(name)
+    if cond is not None:
+        taken_pc = index + 1 + inst.imm
+
+        def run(state: _ThreadState) -> None:
+            regs = state.regs
+            tu = state.tu
+            ready = state.ready
+            taken = cond(regs.read(ra), regs.read(rb))
+            earliest = tu.issue_time
+            t = ready[ra]
             if t > earliest:
                 earliest = t
-        return earliest
+            t = ready[rb]
+            if t > earliest:
+                earliest = t
+            tu.execute_local(earliest, row)
+            state.pc = taken_pc if taken else next_pc
 
-    def _pair_deps(self, state: _ThreadState, *regs: int) -> int:
-        earliest = state.tu.issue_time
-        for reg in regs:
-            for r in (reg, reg + 1 if reg + 1 < 64 else reg):
-                t = state.ready[r]
-                if t > earliest:
-                    earliest = t
-        return earliest
+        return run
 
-    def _set_ready(self, state: _ThreadState, reg: int, time: int,
-                   pair: bool = False) -> None:
-        state.ready[reg] = time
-        if pair and reg + 1 < 64:
-            state.ready[reg + 1] = time
+    if name == "j":
+        target = inst.imm
 
-    # --- ALU ---------------------------------------------------------------
-    def _exec_alu(self, state: _ThreadState, inst: Instruction) -> None:
-        regs, tu = state.regs, state.tu
-        name = inst.opcode.name
-        a = regs.read(inst.ra)
-        b = regs.read(inst.rb)
-        imm = inst.imm
-        if name == "add":
-            value = a + b
-        elif name == "sub":
-            value = a - b
-        elif name == "and":
-            value = a & b
-        elif name == "or":
-            value = a | b
-        elif name == "xor":
-            value = a ^ b
-        elif name == "nor":
-            value = ~(a | b)
-        elif name == "slt":
-            value = int(_signed(a) < _signed(b))
-        elif name == "sltu":
-            value = int(a < b)
-        elif name == "sll":
-            value = a << (b & 31)
-        elif name == "srl":
-            value = a >> (b & 31)
-        elif name == "sra":
-            value = _signed(a) >> (b & 31)
-        elif name == "addi":
-            value = a + imm
-        elif name == "andi":
-            value = a & (imm & _U32)
-        elif name == "ori":
-            value = a | (imm & _U32)
-        elif name == "xori":
-            value = a ^ (imm & _U32)
-        elif name == "slti":
-            value = int(_signed(a) < imm)
-        elif name == "sltiu":
-            value = int(a < (imm & _U32))
-        elif name == "slli":
-            value = a << (imm & 31)
-        elif name == "srli":
-            value = a >> (imm & 31)
-        elif name == "srai":
-            value = _signed(a) >> (imm & 31)
-        elif name == "lui":
-            value = (imm & 0x1FFF) << 19
-        elif name == "mul":
-            value = (_signed(a) * _signed(b)) & _U32
-        elif name == "mulhu":
-            value = (a * b) >> 32
-        elif name == "div":
-            if b == 0:
-                raise ExecutionError(f"thread {tu.tid}: divide by zero")
-            value = int(_signed(a) / _signed(b))
-        elif name == "divu":
-            if b == 0:
-                raise ExecutionError(f"thread {tu.tid}: divide by zero")
-            value = a // b
-        elif name == "rem":
-            if b == 0:
-                raise ExecutionError(f"thread {tu.tid}: divide by zero")
-            value = int(__import__("math").fmod(_signed(a), _signed(b)))
-        else:  # pragma: no cover - table and dispatch are exhaustive
-            raise ExecutionError(f"unhandled ALU op {name}")
-        earliest = self._deps(state, inst.ra, inst.rb)
-        row = getattr(self.chip.config.latency, inst.opcode.latency_row)
-        ready = state.tu.execute_local(earliest, row)
-        regs.write(inst.rd, value & _U32)
-        self._set_ready(state, inst.rd, ready)
-        state.pc += 1
+        def run(state: _ThreadState) -> None:
+            tu = state.tu
+            tu.execute_local(tu.issue_time, row)
+            state.pc = target
 
-    # --- branches -------------------------------------------------------------
-    def _exec_branch(self, state: _ThreadState, inst: Instruction) -> None:
+        return run
+
+    if name == "jal":
+        target = inst.imm
+        link_address = program.address_of(index + 1)
+
+        def run(state: _ThreadState) -> None:
+            tu = state.tu
+            state.regs.write(REG_LINK, link_address)
+            earliest = tu.issue_time
+            state.ready[REG_LINK] = earliest + 2
+            tu.execute_local(earliest, row)
+            state.pc = target
+
+        return run
+
+    # jr
+    base = program.base
+
+    def run(state: _ThreadState) -> None:
+        tu = state.tu
+        addr = state.regs.read(rd)
+        earliest = tu.issue_time
+        t = state.ready[rd]
+        if t > earliest:
+            earliest = t
+        tu.execute_local(earliest, row)
+        state.pc = (addr - base) // 4
+
+    return run
+
+
+# --- memory ----------------------------------------------------------------
+_AMO_OPS = {"amoadd": "add", "amoswap": "swap",
+            "amoand": "and", "amoor": "or"}
+
+
+def _compile_atomic(index: int, inst: Instruction):
+    op = _AMO_OPS[inst.opcode.name]
+    ra, rb, rd = inst.ra, inst.rb, inst.rd
+    next_pc = index + 1
+
+    def run(state: _ThreadState):
+        tu = state.tu
         regs = state.regs
-        name = inst.opcode.name
-        taken = False
-        target = state.pc + 1
-        if name in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
-            a, b = regs.read(inst.ra), regs.read(inst.rb)
-            sa, sb = _signed(a), _signed(b)
-            taken = {
-                "beq": a == b, "bne": a != b, "blt": sa < sb,
-                "bge": sa >= sb, "bltu": a < b, "bgeu": a >= b,
-            }[name]
-            if taken:
-                target = state.pc + 1 + inst.imm
-            earliest = self._deps(state, inst.ra, inst.rb)
-        elif name == "j":
-            taken, target = True, inst.imm
-            earliest = state.tu.issue_time
-        elif name == "jal":
-            regs.write(REG_LINK, state.program.address_of(state.pc + 1))
-            taken, target = True, inst.imm
-            earliest = state.tu.issue_time
-            self._set_ready(state, REG_LINK, earliest + 2)
-        else:  # jr
-            addr = regs.read(inst.rd)
-            taken = True
-            target = (addr - state.program.base) // 4
-            earliest = self._deps(state, inst.rd)
-        state.tu.execute_local(earliest, self.chip.config.latency.branch)
-        state.pc = target
-
-    # --- memory ------------------------------------------------------------
-    _SIZES = {"lw": 4, "sw": 4, "lhu": 2, "sh": 2, "lbu": 1, "sb": 1,
-              "ld": 8, "sd": 8}
-
-    def _exec_memory(self, state: _ThreadState, inst: Instruction):
-        regs, tu = state.regs, state.tu
-        name = inst.opcode.name
-        memory = self.chip.memory
-        quad = tu.quad_id
-        if inst.opcode.unit is UnitClass.ATOMIC:
-            earliest = self._deps(state, inst.ra, inst.rb)
-            earliest = yield earliest
-            effective = regs.read(inst.ra)
-            op = {"amoadd": "add", "amoswap": "swap",
-                  "amoand": "and", "amoor": "or"}[name]
-            outcome, old = memory.atomic_rmw_u32(
-                earliest, quad, effective, op, regs.read(inst.rb)
-            )
-            tu.issue_at(outcome.issue_end - 1)
-            tu.retire(1)
-            tu.counters.loads += 1
-            tu.counters.stores += 1
-            regs.write(inst.rd, old)
-            self._set_ready(state, inst.rd, outcome.complete)
-            state.pc += 1
-            return
-
-        size = self._SIZES[name]
-        is_store = inst.opcode.unit is UnitClass.STORE
-        src_regs = (inst.ra, inst.rd) if is_store else (inst.ra,)
-        earliest = self._pair_deps(state, *src_regs) if size == 8 \
-            else self._deps(state, *src_regs)
+        ready = state.ready
+        earliest = tu.issue_time
+        t = ready[ra]
+        if t > earliest:
+            earliest = t
+        t = ready[rb]
+        if t > earliest:
+            earliest = t
         earliest = yield earliest
-        effective = (regs.read(inst.ra) + inst.imm) & 0xFFFFFFFF
-        ig_bits = effective & 0xFF000000
-        physical = effective & 0xFFFFFF
-        aligned = physical - physical % size if size >= 4 else physical & ~3
-        # Sub-word accesses are timed as their containing word.
-        access_size = max(size, 4)
-        outcome = memory.access(earliest, quad, ig_bits | aligned,
-                                access_size, is_store)
+        outcome, old = state.memory.atomic_rmw_u32(
+            earliest, tu.quad_id, regs.read(ra), op, regs.read(rb)
+        )
         tu.issue_at(outcome.issue_end - 1)
         tu.retire(1)
-        backing = memory.backing
+        counters = tu.counters
+        counters.loads += 1
+        counters.stores += 1
+        regs.write(rd, old)
+        ready[rd] = outcome.complete
+        state.pc = next_pc
+
+    return run
+
+
+def _compile_memory(index: int, inst: Instruction):
+    from repro.isa.opcodes import MEM_SIZES
+
+    name = inst.opcode.name
+    size = MEM_SIZES[name]
+    is_store = inst.opcode.unit is UnitClass.STORE
+    dep_regs = inst.scoreboard_deps()
+    ra, rd, imm = inst.ra, inst.rd, inst.imm
+    # Sub-word accesses are timed as their containing word.
+    align_mask = ~(size - 1) if size >= 4 else ~3
+    access_size = size if size >= 4 else 4
+    next_pc = index + 1
+    rd1 = rd + 1 if rd + 1 < 64 else rd
+
+    def run(state: _ThreadState):
+        tu = state.tu
+        ready = state.ready
+        earliest = tu.issue_time
+        for reg in dep_regs:
+            t = ready[reg]
+            if t > earliest:
+                earliest = t
+        earliest = yield earliest
+        regs = state.regs
+        effective = (regs.read(ra) + imm) & 0xFFFFFFFF
+        physical = effective & 0xFFFFFF
+        outcome = state.memory.access(
+            earliest, tu.quad_id,
+            (effective & 0xFF000000) | (physical & align_mask),
+            access_size, is_store,
+        )
+        tu.issue_at(outcome.issue_end - 1)
+        tu.retire(1)
+        backing = state.backing
         if is_store:
             tu.counters.stores += 1
             if name == "sd":
-                backing.store_f64(physical, regs.read_double(inst.rd))
+                backing.store_f64(physical, regs.read_double(rd))
             elif name == "sw":
-                backing.store_u32(physical, regs.read(inst.rd))
+                backing.store_u32(physical, regs.read(rd))
             else:
-                raw = backing.read_block(physical - physical % 4, 4)
-                data = bytearray(raw)
+                word_base = physical - physical % 4
+                data = bytearray(backing.read_block(word_base, 4))
                 offset = physical % 4
-                value = regs.read(inst.rd)
+                value = regs.read(rd)
                 if name == "sh":
-                    data[offset:offset + 2] = struct.pack("<H", value & 0xFFFF)
-                else:
+                    data[offset:offset + 2] = struct.pack(
+                        "<H", value & 0xFFFF
+                    )
+                else:  # sb
                     data[offset] = value & 0xFF
-                backing.write_block(physical - physical % 4, bytes(data))
+                backing.write_block(word_base, bytes(data))
         else:
             tu.counters.loads += 1
             if name == "ld":
-                regs.write_double(inst.rd, backing.load_f64(physical))
-                self._set_ready(state, inst.rd, outcome.complete, pair=True)
+                regs.write_double(rd, backing.load_f64(physical))
+                complete = outcome.complete
+                ready[rd] = complete
+                ready[rd1] = complete
             else:
                 if name == "lw":
                     value = backing.load_u32(physical)
-                else:
+                else:  # lhu / lbu
                     raw = backing.read_block(physical, size)
                     value = int.from_bytes(raw, "little")
-                regs.write(inst.rd, value)
-                self._set_ready(state, inst.rd, outcome.complete)
-        state.pc += 1
+                regs.write(rd, value)
+                ready[rd] = outcome.complete
+        state.pc = next_pc
 
-    # --- floating point ---------------------------------------------------
-    def _exec_fpu(self, state: _ThreadState, inst: Instruction):
-        regs, tu = state.regs, state.tu
-        name = inst.opcode.name
-        fpu = self.chip.fpu_of(tu.tid)
-        lat = self.chip.config.latency
+    return run
 
-        if name in ("cvtif", "cvtfi"):
-            if name == "cvtif":
-                earliest = self._deps(state, inst.ra)
-            else:
-                earliest = self._pair_deps(state, inst.ra)
+
+# --- floating point --------------------------------------------------------
+def _fdiv_value(a, b, d, tu):
+    if b == 0.0:
+        raise ExecutionError(f"thread {tu.tid}: FP divide by zero")
+    return a / b
+
+
+#: value(a, b, d, tu) and the FPU sub-unit attribute plus flop count per
+#: double-precision arithmetic mnemonic (``d`` is rd's current double,
+#: read only for the fused forms).
+_FPU_ARITH = {
+    "fadd": (lambda a, b, d, tu: a + b, "add", 1),
+    "fsub": (lambda a, b, d, tu: a - b, "add", 1),
+    "fmul": (lambda a, b, d, tu: a * b, "multiply", 1),
+    "fdiv": (_fdiv_value, "divide", 1),
+    "fsqrt": (lambda a, b, d, tu: a ** 0.5, "sqrt", 1),
+    "fmadd": (lambda a, b, d, tu: d + a * b, "fma", 2),
+    "fmsub": (lambda a, b, d, tu: d - a * b, "fma", 2),
+    "fneg": (lambda a, b, d, tu: -a, "add", 1),
+    "fabs": (lambda a, b, d, tu: abs(a), "add", 1),
+    "fmov": (lambda a, b, d, tu: a, "add", 1),
+}
+
+
+def _compile_fpu(index: int, inst: Instruction, lat):
+    name = inst.opcode.name
+    ra, rb, rd = inst.ra, inst.rb, inst.rd
+    dep_regs = inst.scoreboard_deps()
+    next_pc = index + 1
+    rd1 = rd + 1 if rd + 1 < 64 else rd
+
+    if name in ("cvtif", "cvtfi"):
+        to_double = name == "cvtif"
+
+        def run(state: _ThreadState):
+            tu = state.tu
+            ready = state.ready
+            earliest = tu.issue_time
+            for reg in dep_regs:
+                t = ready[reg]
+                if t > earliest:
+                    earliest = t
             earliest = yield earliest
-            issue_end, ready = fpu.convert(earliest)
+            issue_end, ready_time = state.fpu.convert(earliest)
             tu.issue_at(issue_end - 1)
             tu.retire(1)
             tu.counters.flops += 1
-            if name == "cvtif":
-                regs.write_double(inst.rd, float(regs.read_signed(inst.ra)))
-                self._set_ready(state, inst.rd, ready, pair=True)
+            regs = state.regs
+            if to_double:
+                regs.write_double(rd, float(regs.read_signed(ra)))
+                ready[rd] = ready_time
+                ready[rd1] = ready_time
             else:
-                regs.write(inst.rd, int(regs.read_double(inst.ra)) & _U32)
-                self._set_ready(state, inst.rd, ready)
-            state.pc += 1
-            return
+                regs.write(rd, int(regs.read_double(ra)) & _U32)
+                ready[rd] = ready_time
+            state.pc = next_pc
 
-        a = regs.read_double(inst.ra)
-        b = regs.read_double(inst.rb) if inst.rb % 2 == 0 else 0.0
-        if name == "fadd":
-            value, issue, flops = a + b, fpu.add, 1
-        elif name == "fsub":
-            value, issue, flops = a - b, fpu.add, 1
-        elif name == "fmul":
-            value, issue, flops = a * b, fpu.multiply, 1
-        elif name == "fdiv":
-            if b == 0.0:
-                raise ExecutionError(f"thread {tu.tid}: FP divide by zero")
-            value, issue, flops = a / b, fpu.divide, 1
-        elif name == "fsqrt":
-            value, issue, flops = a ** 0.5, fpu.sqrt, 1
-        elif name == "fmadd":
-            value, issue, flops = regs.read_double(inst.rd) + a * b, fpu.fma, 2
-        elif name == "fmsub":
-            value, issue, flops = regs.read_double(inst.rd) - a * b, fpu.fma, 2
-        elif name == "fneg":
-            value, issue, flops = -a, fpu.add, 1
-        elif name == "fabs":
-            value, issue, flops = abs(a), fpu.add, 1
-        elif name == "fmov":
-            value, issue, flops = a, fpu.add, 1
-        elif name in ("fcmplt", "fcmpeq"):
-            result = int(a < b) if name == "fcmplt" else int(a == b)
-            earliest = self._pair_deps(state, inst.ra, inst.rb)
+        return run
+
+    if name in ("fcmplt", "fcmpeq"):
+        is_lt = name == "fcmplt"
+        rb_even = rb % 2 == 0
+
+        def run(state: _ThreadState):
+            tu = state.tu
+            ready = state.ready
+            regs = state.regs
+            a = regs.read_double(ra)
+            b = regs.read_double(rb) if rb_even else 0.0
+            result = int(a < b) if is_lt else int(a == b)
+            earliest = tu.issue_time
+            for reg in dep_regs:
+                t = ready[reg]
+                if t > earliest:
+                    earliest = t
             earliest = yield earliest
-            issue_end, ready = fpu.add(earliest)
+            issue_end, ready_time = state.fpu.add(earliest)
             tu.issue_at(issue_end - 1)
             tu.retire(1)
             tu.counters.flops += 1
-            regs.write(inst.rd, result)
-            self._set_ready(state, inst.rd, ready)
-            state.pc += 1
-            return
-        else:  # pragma: no cover
-            raise ExecutionError(f"unhandled FPU op {name}")
+            regs.write(rd, result)
+            ready[rd] = ready_time
+            state.pc = next_pc
 
-        deps = [inst.ra, inst.rb]
-        if name in ("fmadd", "fmsub"):
-            deps.append(inst.rd)
-        earliest = self._pair_deps(state, *deps)
+        return run
+
+    value_fn, unit_attr, flops = _FPU_ARITH[name]
+    exec_cycles = getattr(lat, inst.opcode.latency_row)[0]
+    needs_d = name in ("fmadd", "fmsub")
+    rb_even = rb % 2 == 0
+
+    def run(state: _ThreadState):
+        tu = state.tu
+        regs = state.regs
+        a = regs.read_double(ra)
+        b = regs.read_double(rb) if rb_even else 0.0
+        d = regs.read_double(rd) if needs_d else 0.0
+        value = value_fn(a, b, d, tu)
+        ready = state.ready
+        earliest = tu.issue_time
+        for reg in dep_regs:
+            t = ready[reg]
+            if t > earliest:
+                earliest = t
         earliest = yield earliest
-        issue_end, ready = issue(earliest)
-        exec_cycles = getattr(lat, inst.opcode.latency_row)[0]
+        issue_end, ready_time = getattr(state.fpu, unit_attr)(earliest)
         tu.issue_at(issue_end - exec_cycles)
         tu.retire(exec_cycles)
         tu.counters.flops += flops
-        regs.write_double(inst.rd, value)
-        self._set_ready(state, inst.rd, ready, pair=True)
-        state.pc += 1
+        regs.write_double(rd, value)
+        ready[rd] = ready_time
+        ready[rd1] = ready_time
+        state.pc = next_pc
 
-    # --- SPR ---------------------------------------------------------------
-    def _exec_spr(self, state: _ThreadState, inst: Instruction):
-        regs, tu = state.regs, state.tu
-        spr = self.chip.barrier_spr
-        if inst.opcode.name == "mtspr":
-            earliest = yield self._deps(state, inst.ra)
+    return run
+
+
+# --- SPR -------------------------------------------------------------------
+def _compile_spr(index: int, inst: Instruction):
+    ra, rd = inst.ra, inst.rd
+    next_pc = index + 1
+
+    if inst.opcode.name == "mtspr":
+
+        def run(state: _ThreadState):
+            tu = state.tu
+            ready = state.ready
+            earliest = tu.issue_time
+            t = ready[ra]
+            if t > earliest:
+                earliest = t
+            earliest = yield earliest
             tu.issue_at(earliest)
             tu.retire(1)
-            spr.write(tu.tid, regs.read(inst.ra) & 0xFF)
-        else:  # mfspr
-            earliest = yield tu.issue_time
-            tu.issue_at(earliest)
-            tu.retire(1)
-            regs.write(inst.rd, spr.read_or())
-            self._set_ready(state, inst.rd, tu.issue_time)
-        state.pc += 1
+            state.spr.write(tu.tid, state.regs.read(ra) & 0xFF)
+            state.pc = next_pc
 
-    # --- system ---------------------------------------------------------------
-    def _exec_system(self, state: _ThreadState, inst: Instruction) -> None:
+        return run
+
+    # mfspr
+    def run(state: _ThreadState):
         tu = state.tu
-        name = inst.opcode.name
-        if name == "halt":
-            tu.issue_at(tu.issue_time)
+        earliest = yield tu.issue_time
+        tu.issue_at(earliest)
+        tu.retire(1)
+        state.regs.write(rd, state.spr.read_or())
+        state.ready[rd] = tu.issue_time
+        state.pc = next_pc
+
+    return run
+
+
+# --- system ----------------------------------------------------------------
+def _compile_system(index: int, inst: Instruction):
+    name = inst.opcode.name
+    rd = inst.rd
+    next_pc = index + 1
+
+    if name == "halt":
+
+        def run(state: _ThreadState) -> None:
+            tu = state.tu
             tu.retire(1)
             tu.counters.finish_time = tu.issue_time
             state.halted = True
-            return
-        if name == "tid":
-            tu.issue_at(tu.issue_time)
+
+        return run
+
+    if name == "tid":
+
+        def run(state: _ThreadState) -> None:
+            tu = state.tu
             tu.retire(1)
-            state.regs.write(inst.rd, tu.tid)
-            self._set_ready(state, inst.rd, tu.issue_time)
-        elif name == "sync":
+            state.regs.write(rd, tu.tid)
+            state.ready[rd] = tu.issue_time
+            state.pc = next_pc
+
+        return run
+
+    if name == "sync":
+
+        def run(state: _ThreadState) -> None:
             # Order earlier memory operations: wait for every register's
             # pending value (a conservative fence).
-            earliest = max(state.ready)
-            tu.issue_at(earliest)
+            tu = state.tu
+            tu.issue_at(max(state.ready))
             tu.retire(1)
-        else:  # nop
-            tu.retire(1)
-        state.pc += 1
-    # ------------------------------------------------------------------
+            state.pc = next_pc
+
+        return run
+
+    # nop
+    def run(state: _ThreadState) -> None:
+        state.tu.retire(1)
+        state.pc = next_pc
+
+    return run

@@ -21,6 +21,15 @@ class Program:
     instructions: list[Instruction] = field(default_factory=list)
     labels: dict[str, int] = field(default_factory=dict)
     base: int = 0x0
+    #: Threaded-code cache: ``(latency_table, handlers)`` filled by the
+    #: interpreter the first time this program runs. Handlers are keyed
+    #: to the latency table they were compiled against, so a program can
+    #: move between chips with different configs. Mutating
+    #: ``instructions`` after a run leaves a stale cache — assemble a new
+    #: Program instead.
+    _threaded: tuple | None = field(
+        init=False, default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.instructions)

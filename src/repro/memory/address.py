@@ -69,6 +69,9 @@ class AddressMap:
     def __init__(self, config: ChipConfig) -> None:
         self.config = config
         self._enabled = list(range(config.n_memory_banks))
+        # The bounds check runs on every data access, so the special
+        # register's value is cached and refreshed on bank failure.
+        self._max_memory = len(self._enabled) * config.bank_bytes
 
     # ------------------------------------------------------------------
     @property
@@ -79,7 +82,7 @@ class AddressMap:
     @property
     def max_memory(self) -> int:
         """The fault-tolerance special register: usable contiguous bytes."""
-        return len(self._enabled) * self.config.bank_bytes
+        return self._max_memory
 
     def disable_bank(self, bank_id: int) -> None:
         """Take a failed bank out of service and shrink the address space."""
@@ -88,14 +91,15 @@ class AddressMap:
         if len(self._enabled) == 1:
             raise MemoryFault("cannot disable the last memory bank")
         self._enabled.remove(bank_id)
+        self._max_memory = len(self._enabled) * self.config.bank_bytes
 
     # ------------------------------------------------------------------
     def check(self, physical: int, size: int = 1) -> None:
         """Validate that ``[physical, physical+size)`` is populated memory."""
-        if physical < 0 or physical + size > self.max_memory:
+        if physical < 0 or physical + size > self._max_memory:
             raise MemoryFault(
                 f"access at {physical:#x} (+{size}) beyond populated memory "
-                f"({self.max_memory:#x} bytes available)"
+                f"({self._max_memory:#x} bytes available)"
             )
 
     def bank_of(self, physical: int) -> int:

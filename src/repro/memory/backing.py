@@ -32,6 +32,12 @@ class BackingStore:
         self._bytes = np.zeros(size_bytes, dtype=np.uint8)
         self._f64 = self._bytes.view(np.float64)
         self._u32 = self._bytes.view(np.uint32)
+        # Memoryview casts over the same buffer: scalar loads/stores on a
+        # memoryview return plain Python numbers, several times faster
+        # than numpy scalar indexing plus float()/int() conversion — and
+        # single-element access is the simulator's dominant pattern.
+        self._mv_f64 = memoryview(self._bytes).cast("d")
+        self._mv_u32 = memoryview(self._bytes).cast("I")
 
     # ------------------------------------------------------------------
     def _check(self, physical: int, size: int) -> None:
@@ -46,13 +52,17 @@ class BackingStore:
     # ------------------------------------------------------------------
     def load_f64(self, physical: int) -> float:
         """Read an aligned double."""
-        self._check(physical, 8)
-        return float(self._f64[physical >> 3])
+        if physical < 0 or physical & 7 or physical + 8 > self.size:
+            self._check(physical, 8)
+        return self._mv_f64[physical >> 3]
 
     def store_f64(self, physical: int, value: float) -> None:
         """Write an aligned double."""
-        self._check(physical, 8)
-        self._f64[physical >> 3] = value
+        if physical < 0 or physical & 7 or physical + 8 > self.size:
+            self._check(physical, 8)
+        # memoryview stores are strict about type; float() is a no-op
+        # for exact floats and converts ints/numpy scalars.
+        self._mv_f64[physical >> 3] = float(value)
 
     def f64_view(self, physical: int, count: int) -> np.ndarray:
         """A mutable view of *count* doubles starting at *physical*.
@@ -71,13 +81,15 @@ class BackingStore:
     # ------------------------------------------------------------------
     def load_u32(self, physical: int) -> int:
         """Read an aligned 32-bit word."""
-        self._check(physical, 4)
-        return int(self._u32[physical >> 2])
+        if physical < 0 or physical & 3 or physical + 4 > self.size:
+            self._check(physical, 4)
+        return self._mv_u32[physical >> 2]
 
     def store_u32(self, physical: int, value: int) -> None:
         """Write an aligned 32-bit word (value taken modulo 2**32)."""
-        self._check(physical, 4)
-        self._u32[physical >> 2] = value & 0xFFFFFFFF
+        if physical < 0 or physical & 3 or physical + 4 > self.size:
+            self._check(physical, 4)
+        self._mv_u32[physical >> 2] = value & 0xFFFFFFFF
 
     # ------------------------------------------------------------------
     # Raw bytes (off-chip DMA, line buffers)

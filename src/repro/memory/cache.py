@@ -48,6 +48,13 @@ class AccessResult:
     victim_data: bytes | None = None
 
 
+#: Interned results for the two allocation-free outcomes (immutable, so
+#: every hit / victimless miss can share one instance — the dominant
+#: paths allocate nothing).
+_HIT = AccessResult(hit=True)
+_MISS_NO_VICTIM = AccessResult(hit=False)
+
+
 class CacheUnit:
     """One 16 KB quad data cache: LRU sets, way partition, counters."""
 
@@ -64,6 +71,16 @@ class CacheUnit:
         self._sets: list[OrderedDict[int, LineState]] = [
             OrderedDict() for _ in range(self.n_sets)
         ]
+        # Set selection as shift + mask when the geometry allows (it
+        # always does for the paper's power-of-two caches); the div/mod
+        # fallback keeps exotic configs working.
+        if (self.line_bytes & (self.line_bytes - 1) == 0
+                and self.n_sets & (self.n_sets - 1) == 0):
+            self._set_shift = self.line_bytes.bit_length() - 1
+            self._set_mask = self.n_sets - 1
+        else:
+            self._set_shift = None
+            self._set_mask = 0
         self._scratchpad = bytearray()
         # counters
         self.hits = 0
@@ -92,6 +109,8 @@ class CacheUnit:
         return self.scratchpad_ways * self.n_sets * self.line_bytes
 
     def _set_index(self, line_addr: int) -> int:
+        if self._set_shift is not None:
+            return (line_addr >> self._set_shift) & self._set_mask
         return (line_addr // self.line_bytes) % self.n_sets
 
     # ------------------------------------------------------------------
@@ -152,8 +171,7 @@ class CacheUnit:
         here a miss just installs the tag and reports any victim that must
         be written back.
         """
-        index = self._set_index(line_addr)
-        lines = self._sets[index]
+        lines = self._sets[self._set_index(line_addr)]
         state = lines.get(line_addr)
         if state is not None:
             lines.move_to_end(line_addr)
@@ -162,26 +180,28 @@ class CacheUnit:
                 self.store_hits += 1
             else:
                 self.hits += 1
-            return AccessResult(hit=True)
+            return _HIT
         if is_store:
             self.store_misses += 1
         else:
             self.misses += 1
         if not allocate:
-            return AccessResult(hit=False)
-        victim_line = victim_data = None
-        victim_dirty = False
-        if self.effective_ways == 0:
+            return _MISS_NO_VICTIM
+        effective_ways = self.total_ways - self.scratchpad_ways
+        if effective_ways == 0:
             raise CacheConfigError("cache has no ways left for caching")
-        if len(lines) >= self.effective_ways:
-            victim_line, victim_state = lines.popitem(last=False)
-            victim_dirty = victim_state.dirty
-            self.evictions += 1
-            if victim_dirty:
-                self.writebacks += 1
-                if victim_state.data is not None:
-                    victim_data = bytes(victim_state.data)
         data = bytearray(self.line_bytes) if self.buffer_data else None
+        if len(lines) < effective_ways:
+            lines[line_addr] = LineState(dirty=is_store, data=data)
+            return _MISS_NO_VICTIM
+        victim_line, victim_state = lines.popitem(last=False)
+        victim_dirty = victim_state.dirty
+        victim_data = None
+        self.evictions += 1
+        if victim_dirty:
+            self.writebacks += 1
+            if victim_state.data is not None:
+                victim_data = bytes(victim_state.data)
         lines[line_addr] = LineState(dirty=is_store, data=data)
         return AccessResult(
             hit=False,

@@ -27,13 +27,19 @@ write buffer), so writeback traffic correctly competes for bandwidth.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
 from enum import Enum
+from typing import NamedTuple
 
 from repro.config import ChipConfig
 from repro.engine.tracing import NULL_TRACER, Tracer
 from repro.errors import AddressError
-from repro.memory.address import AddressMap, line_address, split_effective
+from repro.memory.address import (
+    AddressMap,
+    IG_SHIFT,
+    PHYSICAL_MASK,
+    line_address,
+    split_effective,
+)
 from repro.memory.backing import BackingStore
 from repro.memory.bank import MemoryBank
 from repro.memory.cache import CacheUnit
@@ -52,20 +58,38 @@ class AccessKind(Enum):
     SCRATCHPAD = "scratchpad"
 
 
-@dataclass(frozen=True)
-class AccessOutcome:
+#: Dense indices for the per-kind counters (list slots are cheaper than
+#: enum-keyed dict updates on the access fast path).
+_KIND_ORDER = (AccessKind.LOCAL_HIT, AccessKind.LOCAL_MISS,
+               AccessKind.REMOTE_HIT, AccessKind.REMOTE_MISS,
+               AccessKind.SCRATCHPAD)
+_LOCAL_HIT, _LOCAL_MISS, _REMOTE_HIT, _REMOTE_MISS, _SCRATCHPAD = range(5)
+_KIND_AT = _KIND_ORDER  # index -> AccessKind
+
+
+class AccessOutcome(NamedTuple):
     """Timing result of one access.
 
     ``issue_end`` is when the thread's issue slot frees (execution column
     of Table 2 plus any wait for the cache port); ``complete`` is when the
     value is available to dependent instructions (latency column, plus
     bank queueing on a miss).
+
+    A named tuple rather than a dataclass: one is built per simulated
+    memory access, and tuple construction is the cheapest structured
+    value CPython offers while keeping the same attribute API.
     """
 
     issue_end: int
     complete: int
     kind: AccessKind
     cache_id: int
+
+
+#: ``tuple.__new__`` called directly is a single C call; it skips the
+#: generated keyword-capable ``__new__`` Python frame on the hottest
+#: allocation in the simulator (``access`` builds one outcome per access).
+_tuple_new = tuple.__new__
 
 
 class MemorySubsystem:
@@ -85,16 +109,59 @@ class MemorySubsystem:
         ]
         self.cache_switch: CrossbarSwitch = build_cache_switch(config)
         self.offchip = OffChipMemory(config)
+        #: Decoded interest groups, keyed by the interest-group byte.
+        #: Bounded by construction: there are only 256 possible bytes
+        #: (and fewer than that decode successfully), so the dict can
+        #: never grow past 256 entries.
         self._ig_cache: dict[int, InterestGroup] = {}
         self._line_shift = config.dcache_line_bytes.bit_length() - 1
+        self._line_mask = ~(config.dcache_line_bytes - 1)
+        #: Memoized target-cache resolution, keyed by
+        #: ``(ig_byte << 24) | line``. The scrambling function is a pure
+        #: function of the line address and the group, so the answer
+        #: never changes. Bounded: when the memo reaches
+        #: ``_TARGET_MEMO_MAX`` entries it is cleared and rebuilt, so the
+        #: worst case is a bounded steady-state dict plus occasional
+        #: recomputation (the keyspace — 256 groups x 256 K lines — is
+        #: too large to leave unbounded).
+        self._target_memo: dict[int, int] = {}
+        # Hot-path constants hoisted from the config (immutable per run).
+        lat = config.latency
+        self._hit_extra = (lat.mem_remote_hit[1], lat.mem_local_hit[1])
+        self._miss_extra = (lat.mem_remote_miss[1], lat.mem_local_miss[1])
+        self._fetch_store_miss = config.store_miss_fetches_line or self.strict
+        #: Bound methods hoisted for the access fast path (the switch,
+        #: the caches, and the tracer are created once per subsystem and
+        #: never replaced; ``Tracer.enabled`` is fixed per tracer kind).
+        self._transfer = self.cache_switch.transfer
+        self._switch_ports = self.cache_switch.ports
+        self._switch_bpc = self.cache_switch.bytes_per_cycle
+        self._cache_access = [cache.access for cache in self.caches]
+        self._trace_enabled = tracer.enabled
+        #: Hit-path inlining: with power-of-two cache geometry (always,
+        #: for the paper's configs) ``access()`` probes the tag sets
+        #: directly and only calls :meth:`CacheUnit.access` on a miss.
+        #: The ``_sets`` lists are created once per cache and mutated in
+        #: place, so hoisting them here stays coherent.
+        self._cache_sets = [cache._sets for cache in self.caches]
+        self._cset_shift = self.caches[0]._set_shift
+        self._cset_mask = self.caches[0]._set_mask
         #: In-flight line fills: (cache_id, line) -> completion time. A hit
         #: on a line whose fill is still in flight waits for the fill —
         #: the effect that penalizes the paper's cyclic partitioning,
         #: where eight threads pile onto each line "while the cache line
         #: is still being retrieved from main memory" (Section 3.2.2).
         self._inflight: dict[tuple[int, int], int] = {}
-        # access-kind counters
-        self.kind_counts: dict[AccessKind, int] = {k: 0 for k in AccessKind}
+        # access-kind counters (dense list; see the kind_counts property)
+        self._kind_counts = [0] * len(_KIND_ORDER)
+
+    #: The target-cache memo's size bound (entries) — cleared when full.
+    _TARGET_MEMO_MAX = 1 << 16
+
+    @property
+    def kind_counts(self) -> dict[AccessKind, int]:
+        """Access counts by timing classification (Table 2 rows)."""
+        return dict(zip(_KIND_ORDER, self._kind_counts))
 
     # ------------------------------------------------------------------
     # Interest-group resolution
@@ -108,56 +175,138 @@ class MemorySubsystem:
         return group
 
     def target_cache(self, ig_byte: int, physical: int, quad_id: int) -> int:
-        """The cache that holds *physical* under *ig_byte* for *quad_id*."""
-        group = self.decode_group(ig_byte)
-        return group.target_cache(
-            physical >> self._line_shift, self.config.n_dcaches, quad_id
-        )
+        """The cache that holds *physical* under *ig_byte* for *quad_id*.
+
+        Interest group zero (OWN) is the requester's own cache; every
+        other group maps a line to one fixed cache independent of the
+        requester, so the scramble result is memoized per
+        ``(group, line)`` — see ``_target_memo`` for the bound.
+        """
+        if ig_byte == 0:  # OWN: the requester's own quad cache
+            return quad_id
+        line = physical & self._line_mask
+        key = (ig_byte << IG_SHIFT) | line
+        memo = self._target_memo
+        target = memo.get(key)
+        if target is None:
+            group = self.decode_group(ig_byte)
+            target = group.target_cache(
+                physical >> self._line_shift, self.config.n_dcaches, quad_id
+            )
+            if len(memo) >= self._TARGET_MEMO_MAX:
+                memo.clear()
+            memo[key] = target
+        return target
 
     # ------------------------------------------------------------------
     # The main timed access path
     # ------------------------------------------------------------------
     def access(self, time: int, quad_id: int, effective: int, size: int,
                is_store: bool) -> AccessOutcome:
-        """Timed load/store of *size* bytes at a 32-bit effective address."""
-        ig_byte, physical = split_effective(effective)
-        self.address_map.check(physical, size)
-        line = line_address(physical, self.config.dcache_line_bytes)
-        target = self.target_cache(ig_byte, physical, quad_id)
-        cache = self.caches[target]
-        local = target == quad_id
+        """Timed load/store of *size* bytes at a 32-bit effective address.
 
-        port_grant = self.cache_switch.transfer(target, time, size)
-        issue_end = port_grant + 1
-
-        fetch_on_miss = (not is_store) or self.config.store_miss_fetches_line \
-            or self.strict
-        result = cache.access(line, is_store)
-
-        latency = self.config.latency
-        if result.hit:
-            kind = AccessKind.LOCAL_HIT if local else AccessKind.REMOTE_HIT
-            _, extra = latency.mem_local_hit if local else latency.mem_remote_hit
-            complete = issue_end + extra
-            fill_key = (target, line)
-            fill_done = self._inflight.get(fill_key)
-            if fill_done is not None:
-                if issue_end < fill_done:
-                    # The line is still on its way from memory: the hit
-                    # delivers only once the fill lands.
-                    complete = fill_done + extra
-                else:
-                    del self._inflight[fill_key]
+        This is the simulator's hottest function: the dominant local-hit
+        path allocates nothing beyond the returned :class:`AccessOutcome`
+        tuple — the address split is inlined, the target cache comes from
+        the memo, the cache returns an interned hit result, and the kind
+        counter is a list slot.
+        """
+        if effective >> 32:
+            raise AddressError(
+                f"effective address {effective:#x} exceeds 32 bits"
+            )
+        ig_byte = effective >> IG_SHIFT
+        physical = effective & PHYSICAL_MASK
+        # Guarded bounds test: `physical` is non-negative by masking, so
+        # one comparison against the cached max-memory register suffices;
+        # the slow call only runs to raise the detailed fault.
+        if physical + size > self.address_map._max_memory:
+            self.address_map.check(physical, size)
+        line = physical & self._line_mask
+        if ig_byte == 0:  # OWN: the requester's own quad cache
+            target = quad_id
+            local = True
         else:
-            kind = AccessKind.LOCAL_MISS if local else AccessKind.REMOTE_MISS
-            _, extra = latency.mem_local_miss if local else latency.mem_remote_miss
+            # Inlined memo probe of target_cache(); the method runs only
+            # to fill (or refresh) the bounded memo.
+            target = self._target_memo.get((ig_byte << IG_SHIFT) | line)
+            if target is None:
+                target = self.target_cache(ig_byte, physical, quad_id)
+            local = target == quad_id
+
+        # Single-beat switch traversal, inlined (CrossbarSwitch.transfer
+        # + TimelineResource.reserve are two frames per access; every
+        # counter they maintain is updated identically here). *time* is
+        # a scheduler grant, so the reserve validation can't fire.
+        if size <= self._switch_bpc:
+            switch = self.cache_switch
+            port = self._switch_ports[target]
+            if time < port._last_request:
+                port.reorderings += 1
+            else:
+                port._last_request = time
+            next_free = port.next_free
+            grant = time if time >= next_free else next_free
+            port.next_free = grant + 1
+            port.busy_cycles += 1
+            port.n_requests += 1
+            switch.transfers += 1
+            switch.bytes_moved += size
+            if grant != time:
+                switch.contention_cycles += grant - time
+            issue_end = grant + 1
+        else:
+            issue_end = self._transfer(target, time, size) + 1
+
+        # Tag probe, hit path inlined (see __init__): a hit — the
+        # dominant outcome — touches the OrderedDict set and two
+        # counters and allocates nothing; only misses pay for the full
+        # CacheUnit.access victim/allocation logic.
+        hit = False
+        if self._cset_shift is not None:
+            lines = self._cache_sets[target][
+                (line >> self._cset_shift) & self._cset_mask
+            ]
+            state = lines.get(line)
+            if state is not None:
+                lines.move_to_end(line)
+                cache = self.caches[target]
+                if is_store:
+                    state.dirty = True
+                    cache.store_hits += 1
+                else:
+                    cache.hits += 1
+                hit = True
+            else:
+                result = self._cache_access[target](line, is_store)
+        else:
+            result = self._cache_access[target](line, is_store)
+            hit = result.hit
+
+        if hit:
+            kind_index = _LOCAL_HIT if local else _REMOTE_HIT
+            complete = issue_end + self._hit_extra[local]
+            inflight = self._inflight
+            if inflight:
+                fill_key = (target, line)
+                fill_done = inflight.get(fill_key)
+                if fill_done is not None:
+                    if issue_end < fill_done:
+                        # The line is still on its way from memory: the
+                        # hit delivers only once the fill lands.
+                        complete = fill_done + self._hit_extra[local]
+                    else:
+                        del inflight[fill_key]
+        else:
+            kind_index = _LOCAL_MISS if local else _REMOTE_MISS
+            fetch_on_miss = (not is_store) or self._fetch_store_miss
             queue_delay = 0
             if fetch_on_miss:
                 bank = self.banks[self.address_map.bank_of(line)]
                 done = bank.read_burst(issue_end)
                 queue_delay = done - issue_end - self.config.burst_cycles
                 if self.strict:
-                    self._fill_line_buffer(cache, line)
+                    self._fill_line_buffer(self.caches[target], line)
             if result.victim_dirty and result.victim_line is not None:
                 self._write_back(issue_end, result.victim_line,
                                  result.victim_data)
@@ -166,13 +315,14 @@ class MemorySubsystem:
                 # itself completes as soon as it issues.
                 complete = issue_end
             else:
-                complete = issue_end + extra + queue_delay
+                complete = issue_end + self._miss_extra[local] + queue_delay
                 self._inflight[(target, line)] = complete
-        self.kind_counts[kind] += 1
-        if self.tracer.enabled:
+        self._kind_counts[kind_index] += 1
+        kind = _KIND_AT[kind_index]
+        if self._trace_enabled:
             self.tracer.emit(time, f"cache{target}", kind.value,
                              f"phys={physical:#x} store={is_store}")
-        return AccessOutcome(issue_end, complete, kind, target)
+        return _tuple_new(AccessOutcome, (issue_end, complete, kind, target))
 
     def _write_back(self, time: int, victim_line: int,
                     victim_data: bytes | None) -> None:
@@ -197,7 +347,7 @@ class MemorySubsystem:
                  ) -> tuple[AccessOutcome, float]:
         """Timed load of a double, returning its value."""
         outcome = self.access(time, quad_id, effective, 8, is_store=False)
-        _, physical = split_effective(effective)
+        physical = effective & PHYSICAL_MASK
         if self.strict:
             value = self._strict_read(outcome.cache_id, physical, 8)
         else:
@@ -208,7 +358,7 @@ class MemorySubsystem:
                   value: float) -> AccessOutcome:
         """Timed store of a double."""
         outcome = self.access(time, quad_id, effective, 8, is_store=True)
-        _, physical = split_effective(effective)
+        physical = effective & PHYSICAL_MASK
         if self.strict:
             self._strict_write(outcome.cache_id, physical, 8, value=value)
         else:
@@ -219,7 +369,7 @@ class MemorySubsystem:
                  ) -> tuple[AccessOutcome, int]:
         """Timed load of a 32-bit word."""
         outcome = self.access(time, quad_id, effective, 4, is_store=False)
-        _, physical = split_effective(effective)
+        physical = effective & PHYSICAL_MASK
         if self.strict:
             word = self._strict_read(outcome.cache_id, physical, 4)
         else:
@@ -230,7 +380,7 @@ class MemorySubsystem:
                   value: int) -> AccessOutcome:
         """Timed store of a 32-bit word."""
         outcome = self.access(time, quad_id, effective, 4, is_store=True)
-        _, physical = split_effective(effective)
+        physical = effective & PHYSICAL_MASK
         if self.strict:
             self._strict_write(outcome.cache_id, physical, 4, word=value)
         else:
@@ -247,7 +397,7 @@ class MemorySubsystem:
         (the line must be owned to modify it).
         """
         outcome = self.access(time, quad_id, effective, 4, is_store=True)
-        _, physical = split_effective(effective)
+        physical = effective & PHYSICAL_MASK
         old = self.backing.load_u32(physical)
         if op == "add":
             new = (old + operand) & 0xFFFFFFFF
@@ -359,7 +509,7 @@ class MemorySubsystem:
         local = cache_id == quad_id
         row = self.config.latency.mem_local_hit if local \
             else self.config.latency.mem_remote_hit
-        self.kind_counts[AccessKind.SCRATCHPAD] += 1
+        self._kind_counts[_SCRATCHPAD] += 1
         return AccessOutcome(issue_end, issue_end + row[1],
                              AccessKind.SCRATCHPAD, cache_id)
 
@@ -380,7 +530,7 @@ class MemorySubsystem:
         self.cache_switch.reset()
         self.offchip.engine.reset()
         self._inflight.clear()
-        self.kind_counts = {k: 0 for k in AccessKind}
+        self._kind_counts = [0] * len(_KIND_ORDER)
 
     def cold_caches(self) -> None:
         """Drop every cached line (cold-start between experiments)."""

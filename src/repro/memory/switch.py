@@ -30,6 +30,9 @@ class CrossbarSwitch:
         self.ports = [
             TimelineResource(f"{name}.port{i}") for i in range(n_ports)
         ]
+        # Bound reserve methods, indexed by port — one lookup on the
+        # transfer fast path (ports are never replaced, only reset).
+        self._reserve = [port.reserve for port in self.ports]
         self.transfers = 0
         self.bytes_moved = 0
         #: Cycles transfers waited for a busy output port.
@@ -37,8 +40,11 @@ class CrossbarSwitch:
 
     def transfer(self, port: int, time: int, n_bytes: int) -> int:
         """Occupy *port* long enough to move *n_bytes*; returns grant time."""
-        cycles = max(1, -(-n_bytes // self.bytes_per_cycle))  # ceil division
-        grant = self.ports[port].reserve(time, cycles)
+        if n_bytes <= self.bytes_per_cycle:  # single-word fast path
+            cycles = 1
+        else:
+            cycles = -(-n_bytes // self.bytes_per_cycle)  # ceil division
+        grant = self._reserve[port](time, cycles)
         self.transfers += 1
         self.bytes_moved += n_bytes
         if grant != time:

@@ -24,7 +24,7 @@ Conventions:
 
 from __future__ import annotations
 
-from repro.memory.address import make_effective
+from repro.memory.address import PHYSICAL_MASK, make_effective
 from repro.memory.interest_groups import IG_ALL
 
 
@@ -32,7 +32,9 @@ class ThreadCtx:
     """The programming interface of one running software thread."""
 
     __slots__ = ("kernel", "chip", "memory", "tu", "tid", "quad_id",
-                 "fpu", "lat", "process", "software_index")
+                 "fpu", "lat", "process", "software_index",
+                 "_strict", "_access", "_bload_f64", "_bstore_f64",
+                 "_bload_u32", "_bstore_u32")
 
     def __init__(self, kernel, tu) -> None:
         self.kernel = kernel
@@ -47,6 +49,18 @@ class ThreadCtx:
         self.process = None
         #: The software thread index (0..n-1), set by the kernel.
         self.software_index = 0
+        # Hot-path bindings: in the default (non-strict) mode the load/
+        # store wrappers on MemorySubsystem reduce to a timed access plus
+        # a backing-store value access, so the context calls those two
+        # directly and skips one wrapper frame per memory operation.
+        memory = self.memory
+        self._strict = memory.strict
+        self._access = memory.access
+        backing = memory.backing
+        self._bload_f64 = backing.load_f64
+        self._bstore_f64 = backing.store_f64
+        self._bload_u32 = backing.load_u32
+        self._bstore_u32 = backing.store_u32
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -68,17 +82,79 @@ class ThreadCtx:
         return earliest
 
     # ------------------------------------------------------------------
-    # Memory operations (shared: generators)
+    # Memory operations (shared: generators, plus a split-phase form)
+    #
+    # The split-phase pairs (``op_begin`` + ``<op>_finish``) let a hot
+    # workload loop synchronize with the scheduler through its *own*
+    # yield instead of delegating into a context generator: the event
+    # sequence is identical, but nothing allocates a generator object
+    # per memory operation. The generator methods below are thin
+    # wrappers over the same phases, so there is one copy of the logic.
     # ------------------------------------------------------------------
+    def op_begin(self, deps: tuple = ()) -> int:
+        """Phase 1 of any shared-resource op: the earliest issue cycle.
+
+        Yield the returned value to the scheduler; pass the granted time
+        into the matching ``*_finish`` method.
+        """
+        earliest = self.tu.issue_time
+        for dep in deps:
+            if dep > earliest:
+                earliest = dep
+        return earliest
+
+    def load_f64_finish(self, now: int, effective: int):
+        """Phase 2 of a double load; returns ``(ready_time, value)``."""
+        if self._strict:
+            outcome, value = self.memory.load_f64(
+                now, self.quad_id, effective
+            )
+        else:
+            outcome = self._access(now, self.quad_id, effective, 8, False)
+            value = self._bload_f64(effective & PHYSICAL_MASK)
+        # Inlined ThreadUnit.issue_at(issue_end - 1) + retire(1): two
+        # method frames per memory op are measurable at STREAM scale.
+        tu = self.tu
+        counters = tu.counters
+        issue = outcome.issue_end - 1
+        clock = tu.issue_time
+        if issue > clock:
+            counters.stall_cycles += issue - clock
+            counters.stall_events += 1
+            clock = issue
+        tu.issue_time = clock + 1
+        counters.instructions += 1
+        counters.run_cycles += 1
+        counters.loads += 1
+        return outcome.complete, value
+
+    def store_f64_finish(self, now: int, effective: int, value: float) -> int:
+        """Phase 2 of a double store; returns the completion time."""
+        if self._strict:
+            outcome = self.memory.store_f64(
+                now, self.quad_id, effective, value
+            )
+        else:
+            outcome = self._access(now, self.quad_id, effective, 8, True)
+            self._bstore_f64(effective & PHYSICAL_MASK, value)
+        tu = self.tu
+        counters = tu.counters
+        issue = outcome.issue_end - 1
+        clock = tu.issue_time
+        if issue > clock:
+            counters.stall_cycles += issue - clock
+            counters.stall_events += 1
+            clock = issue
+        tu.issue_time = clock + 1
+        counters.instructions += 1
+        counters.run_cycles += 1
+        counters.stores += 1
+        return outcome.complete
+
     def load_f64(self, effective: int, deps: tuple = ()):
         """Load a double; returns ``(ready_time, value)``."""
-        earliest = yield self._earliest(deps)
-        outcome, value = self.memory.load_f64(earliest, self.quad_id, effective)
-        tu = self.tu
-        tu.issue_at(outcome.issue_end - 1)
-        tu.retire(1)
-        tu.counters.loads += 1
-        return outcome.complete, value
+        now = yield self.op_begin(deps)
+        return self.load_f64_finish(now, effective)
 
     def store_f64(self, effective: int, value: float, deps: tuple = ()):
         """Store a double; returns the store's completion time.
@@ -87,32 +163,63 @@ class ThreadCtx:
         write buffer); dependents that *must* observe the store (e.g. a
         flag protocol) can depend on the returned time.
         """
-        earliest = yield self._earliest(deps)
-        outcome = self.memory.store_f64(earliest, self.quad_id, effective, value)
-        tu = self.tu
-        tu.issue_at(outcome.issue_end - 1)
-        tu.retire(1)
-        tu.counters.stores += 1
-        return outcome.complete
+        now = yield self.op_begin(deps)
+        return self.store_f64_finish(now, effective, value)
 
     def load_u32(self, effective: int, deps: tuple = ()):
         """Load a 32-bit word; returns ``(ready_time, value)``."""
-        earliest = yield self._earliest(deps)
-        outcome, value = self.memory.load_u32(earliest, self.quad_id, effective)
         tu = self.tu
-        tu.issue_at(outcome.issue_end - 1)
-        tu.retire(1)
-        tu.counters.loads += 1
+        earliest = tu.issue_time
+        for dep in deps:
+            if dep > earliest:
+                earliest = dep
+        earliest = yield earliest
+        if self._strict:
+            outcome, value = self.memory.load_u32(
+                earliest, self.quad_id, effective
+            )
+        else:
+            outcome = self._access(earliest, self.quad_id, effective, 4, False)
+            value = self._bload_u32(effective & PHYSICAL_MASK)
+        counters = tu.counters
+        issue = outcome.issue_end - 1
+        clock = tu.issue_time
+        if issue > clock:
+            counters.stall_cycles += issue - clock
+            counters.stall_events += 1
+            clock = issue
+        tu.issue_time = clock + 1
+        counters.instructions += 1
+        counters.run_cycles += 1
+        counters.loads += 1
         return outcome.complete, value
 
     def store_u32(self, effective: int, value: int, deps: tuple = ()):
         """Store a 32-bit word; returns the completion time."""
-        earliest = yield self._earliest(deps)
-        outcome = self.memory.store_u32(earliest, self.quad_id, effective, value)
         tu = self.tu
-        tu.issue_at(outcome.issue_end - 1)
-        tu.retire(1)
-        tu.counters.stores += 1
+        earliest = tu.issue_time
+        for dep in deps:
+            if dep > earliest:
+                earliest = dep
+        earliest = yield earliest
+        if self._strict:
+            outcome = self.memory.store_u32(
+                earliest, self.quad_id, effective, value
+            )
+        else:
+            outcome = self._access(earliest, self.quad_id, effective, 4, True)
+            self._bstore_u32(effective & PHYSICAL_MASK, value)
+        counters = tu.counters
+        issue = outcome.issue_end - 1
+        clock = tu.issue_time
+        if issue > clock:
+            counters.stall_cycles += issue - clock
+            counters.stall_events += 1
+            clock = issue
+        tu.issue_time = clock + 1
+        counters.instructions += 1
+        counters.run_cycles += 1
+        counters.stores += 1
         return outcome.complete
 
     def atomic_rmw_u32(self, effective: int, op: str, operand: int,
@@ -159,12 +266,25 @@ class ThreadCtx:
     # ------------------------------------------------------------------
     def _fpu_pipelined(self, issue_fn, deps: tuple, exec_cycles: int,
                        flops: int):
-        earliest = yield self._earliest(deps)
-        issue_end, ready = issue_fn(earliest)
         tu = self.tu
-        tu.issue_at(issue_end - exec_cycles)
-        tu.retire(exec_cycles)
-        tu.counters.flops += flops
+        earliest = tu.issue_time
+        for dep in deps:
+            if dep > earliest:
+                earliest = dep
+        earliest = yield earliest
+        issue_end, ready = issue_fn(earliest)
+        # Inlined ThreadUnit.issue_at(issue_end - exec) + retire(exec).
+        counters = tu.counters
+        issue = issue_end - exec_cycles
+        clock = tu.issue_time
+        if issue > clock:
+            counters.stall_cycles += issue - clock
+            counters.stall_events += 1
+            clock = issue
+        tu.issue_time = clock + exec_cycles
+        counters.instructions += 1
+        counters.run_cycles += exec_cycles
+        counters.flops += flops
         return ready
 
     def fp_add(self, deps: tuple = ()):
@@ -175,9 +295,41 @@ class ThreadCtx:
         """FP multiply."""
         return self._fpu_pipelined(self.fpu.multiply, deps, 1, 1)
 
+    def _fpu_retire(self, issue_end: int, ready: int, flops: int) -> int:
+        """Account a single-issue FPU op (inlined issue_at + retire)."""
+        tu = self.tu
+        counters = tu.counters
+        issue = issue_end - 1
+        clock = tu.issue_time
+        if issue > clock:
+            counters.stall_cycles += issue - clock
+            counters.stall_events += 1
+            clock = issue
+        tu.issue_time = clock + 1
+        counters.instructions += 1
+        counters.run_cycles += 1
+        counters.flops += flops
+        return ready
+
+    def fp_add_finish(self, now: int) -> int:
+        """Phase 2 of an FP add (pairs with ``op_begin``)."""
+        issue_end, ready = self.fpu.add(now)
+        return self._fpu_retire(issue_end, ready, 1)
+
+    def fp_mul_finish(self, now: int) -> int:
+        """Phase 2 of an FP multiply (pairs with ``op_begin``)."""
+        issue_end, ready = self.fpu.multiply(now)
+        return self._fpu_retire(issue_end, ready, 1)
+
+    def fp_fma_finish(self, now: int) -> int:
+        """Phase 2 of a fused multiply-add (pairs with ``op_begin``)."""
+        issue_end, ready = self.fpu.fma(now)
+        return self._fpu_retire(issue_end, ready, 2)
+
     def fp_fma(self, deps: tuple = ()):
         """Fused multiply-add (two flops, one issue)."""
-        return self._fpu_pipelined(self.fpu.fma, deps, 1, 2)
+        now = yield self.op_begin(deps)
+        return self.fp_fma_finish(now)
 
     def fp_convert(self, deps: tuple = ()):
         """Int/float conversion."""

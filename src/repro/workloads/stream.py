@@ -127,17 +127,26 @@ class StreamResult:
 # ---------------------------------------------------------------------------
 # Thread bodies (one per kernel, generic in unroll factor)
 # ---------------------------------------------------------------------------
+# The kernel loops use the context's split-phase memory/FPU API
+# (``op_begin`` yielded from the loop itself + ``*_finish``): per
+# element the event sequence matches the plain generator methods
+# exactly, but no generator object is allocated per operation — at
+# STREAM scale that allocation is the largest host cost after the
+# accesses themselves.
 def _copy_loop(ctx, ea_src, ea_dst, unroll):
     n = len(ea_src)
     k = 0
     times = [0] * unroll
     vals = [0.0] * unroll
+    begin = ctx.op_begin
     while k < n:
         u = unroll if k + unroll <= n else n - k
         for j in range(u):
-            times[j], vals[j] = yield from ctx.load_f64(ea_src[k + j])
+            now = yield begin()
+            times[j], vals[j] = ctx.load_f64_finish(now, ea_src[k + j])
         for j in range(u):
-            yield from ctx.store_f64(ea_dst[k + j], vals[j], deps=(times[j],))
+            now = yield begin((times[j],))
+            ctx.store_f64_finish(now, ea_dst[k + j], vals[j])
         ctx.charge_ops(OVERHEAD_INT_OPS)
         ctx.branch()
         k += u
@@ -148,16 +157,18 @@ def _scale_loop(ctx, ea_src, ea_dst, scalar, unroll):
     k = 0
     times = [0] * unroll
     vals = [0.0] * unroll
+    begin = ctx.op_begin
     while k < n:
         u = unroll if k + unroll <= n else n - k
         for j in range(u):
-            times[j], vals[j] = yield from ctx.load_f64(ea_src[k + j])
+            now = yield begin()
+            times[j], vals[j] = ctx.load_f64_finish(now, ea_src[k + j])
         for j in range(u):
-            times[j] = yield from ctx.fp_mul(deps=(times[j],))
+            now = yield begin((times[j],))
+            times[j] = ctx.fp_mul_finish(now)
         for j in range(u):
-            yield from ctx.store_f64(
-                ea_dst[k + j], scalar * vals[j], deps=(times[j],)
-            )
+            now = yield begin((times[j],))
+            ctx.store_f64_finish(now, ea_dst[k + j], scalar * vals[j])
         ctx.charge_ops(OVERHEAD_INT_OPS)
         ctx.branch()
         k += u
@@ -170,17 +181,20 @@ def _add_loop(ctx, ea_x, ea_y, ea_dst, unroll):
     ty = [0] * unroll
     vx = [0.0] * unroll
     vy = [0.0] * unroll
+    begin = ctx.op_begin
     while k < n:
         u = unroll if k + unroll <= n else n - k
         for j in range(u):
-            tx[j], vx[j] = yield from ctx.load_f64(ea_x[k + j])
-            ty[j], vy[j] = yield from ctx.load_f64(ea_y[k + j])
+            now = yield begin()
+            tx[j], vx[j] = ctx.load_f64_finish(now, ea_x[k + j])
+            now = yield begin()
+            ty[j], vy[j] = ctx.load_f64_finish(now, ea_y[k + j])
         for j in range(u):
-            tx[j] = yield from ctx.fp_add(deps=(tx[j], ty[j]))
+            now = yield begin((tx[j], ty[j]))
+            tx[j] = ctx.fp_add_finish(now)
         for j in range(u):
-            yield from ctx.store_f64(
-                ea_dst[k + j], vx[j] + vy[j], deps=(tx[j],)
-            )
+            now = yield begin((tx[j],))
+            ctx.store_f64_finish(now, ea_dst[k + j], vx[j] + vy[j])
         ctx.charge_ops(OVERHEAD_INT_OPS)
         ctx.branch()
         k += u
@@ -193,17 +207,26 @@ def _triad_loop(ctx, ea_x, ea_y, ea_dst, scalar, unroll):
     ty = [0] * unroll
     vx = [0.0] * unroll
     vy = [0.0] * unroll
+    begin = ctx.op_begin
+    load_finish = ctx.load_f64_finish
+    store_finish = ctx.store_f64_finish
+    fma_finish = ctx.fp_fma_finish
+    tu = ctx.tu
     while k < n:
         u = unroll if k + unroll <= n else n - k
         for j in range(u):
-            tx[j], vx[j] = yield from ctx.load_f64(ea_x[k + j])
-            ty[j], vy[j] = yield from ctx.load_f64(ea_y[k + j])
+            # A load with no deps issues at the thread clock; yielding
+            # it directly skips an op_begin call per element.
+            now = yield tu.issue_time
+            tx[j], vx[j] = load_finish(now, ea_x[k + j])
+            now = yield tu.issue_time
+            ty[j], vy[j] = load_finish(now, ea_y[k + j])
         for j in range(u):
-            tx[j] = yield from ctx.fp_fma(deps=(tx[j], ty[j]))
+            now = yield begin((tx[j], ty[j]))
+            tx[j] = fma_finish(now)
         for j in range(u):
-            yield from ctx.store_f64(
-                ea_dst[k + j], vx[j] + scalar * vy[j], deps=(tx[j],)
-            )
+            now = yield begin((tx[j],))
+            store_finish(now, ea_dst[k + j], vx[j] + scalar * vy[j])
         ctx.charge_ops(OVERHEAD_INT_OPS)
         ctx.branch()
         k += u

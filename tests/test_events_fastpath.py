@@ -1,0 +1,190 @@
+"""EventQueue fast-path unit tests and a reference-model property test.
+
+The run-list fast path must be *observably identical* to a plain
+``(time, seq)`` heap: same pop order (FIFO within a tie group), same
+lengths, same peek times. The unit tests pin each branch of the fast
+path; the Hypothesis test drives random interleavings of push/pop
+against the pure-heap reference implementation.
+"""
+
+from heapq import heappop, heappush
+from itertools import count
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.events import EventQueue, Waiter
+
+
+class ReferenceQueue:
+    """The obviously-correct implementation: one heap, no fast path."""
+
+    def __init__(self) -> None:
+        self._heap = []
+        self._seq = count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time, payload) -> None:
+        heappush(self._heap, (time, next(self._seq), payload))
+
+    def pop(self):
+        time, _, payload = heappop(self._heap)
+        return time, payload
+
+    def peek_time(self):
+        if not self._heap:
+            raise IndexError("peek into an empty event queue")
+        return self._heap[0][0]
+
+
+# ---------------------------------------------------------------------------
+# Unit tests: one per fast-path branch
+# ---------------------------------------------------------------------------
+def test_fifo_tie_breaking():
+    queue = EventQueue()
+    for i in range(5):
+        queue.push(7, f"p{i}")
+    assert [queue.pop() for _ in range(5)] == \
+        [(7, f"p{i}") for i in range(5)]
+
+
+def test_tie_group_drains_into_run_list():
+    queue = EventQueue()
+    for i in range(4):
+        queue.push(3, i)
+    queue.push(9, "later")
+    # First pop reveals the tie group; the rest must come from the run
+    # list in FIFO order, with next_time tracking correctly throughout.
+    assert queue.pop() == (3, 0)
+    assert queue.peek_time() == 3
+    assert queue.pop() == (3, 1)
+    assert queue.pop() == (3, 2)
+    assert queue.pop() == (3, 3)
+    assert queue.peek_time() == 9
+    assert queue.pop() == (9, "later")
+    assert len(queue) == 0
+
+
+def test_same_cycle_push_appends_behind_run_list():
+    queue = EventQueue()
+    queue.push(5, "a")
+    queue.push(5, "b")
+    queue.push(5, "c")
+    assert queue.pop() == (5, "a")  # drains b, c into the run list
+    queue.push(5, "d")  # same-cycle push: behind the existing tie group
+    assert queue.pop() == (5, "b")
+    assert queue.pop() == (5, "c")
+    assert queue.pop() == (5, "d")
+
+
+def test_push_into_run_list_past_serves_heap_first():
+    queue = EventQueue()
+    queue.push(10, "x")
+    queue.push(10, "y")
+    assert queue.pop() == (10, "x")  # "y" now sits in the run list
+    queue.push(4, "early")  # earlier than the active run list
+    assert queue.peek_time() == 4
+    assert queue.pop() == (4, "early")
+    assert queue.peek_time() == 10
+    assert queue.pop() == (10, "y")
+
+
+def test_len_bool_and_empty_peek():
+    queue = EventQueue()
+    assert len(queue) == 0 and not queue
+    with pytest.raises(IndexError):
+        queue.peek_time()
+    queue.push(1, "a")
+    assert len(queue) == 1 and queue
+    queue.pop()
+    with pytest.raises(IndexError):
+        queue.peek_time()
+
+
+def test_next_time_tracks_earliest_push():
+    queue = EventQueue()
+    queue.push(8, "a")
+    assert queue.peek_time() == 8
+    queue.push(3, "b")
+    assert queue.peek_time() == 3
+    queue.push(5, "c")
+    assert queue.peek_time() == 3
+    assert [queue.pop() for _ in range(3)] == \
+        [(3, "b"), (5, "c"), (8, "a")]
+
+
+def test_drain_yields_sorted_fifo_order():
+    queue = EventQueue()
+    pushes = [(4, "a"), (1, "b"), (4, "c"), (1, "d"), (2, "e")]
+    for time, payload in pushes:
+        queue.push(time, payload)
+    assert list(queue.drain()) == \
+        [(1, "b"), (1, "d"), (2, "e"), (4, "a"), (4, "c")]
+
+
+# ---------------------------------------------------------------------------
+# Property test: any interleaving matches the reference heap
+# ---------------------------------------------------------------------------
+#: Ops: push at a small time (ties are the interesting case), or pop.
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.integers(min_value=0, max_value=8)),
+        st.tuples(st.just("pop"), st.just(0)),
+    ),
+    max_size=200,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=_OPS)
+def test_matches_reference_heap(ops):
+    fast = EventQueue()
+    reference = ReferenceQueue()
+    for serial, (op, time) in enumerate(ops):
+        if op == "push":
+            fast.push(time, serial)
+            reference.push(time, serial)
+        elif len(reference):
+            assert fast.pop() == reference.pop()
+        assert len(fast) == len(reference)
+        if len(reference):
+            assert fast.peek_time() == reference.peek_time()
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=_OPS)
+def test_scheduler_like_interleaving_matches_reference(ops):
+    """Monotone-time interleavings (what the scheduler actually does).
+
+    Pushes land at ``now + delta`` for the last popped ``now``, so the
+    run-list is hot: most pushes hit the same-cycle append path.
+    """
+    fast = EventQueue()
+    reference = ReferenceQueue()
+    now = 0
+    for serial, (op, delta) in enumerate(ops):
+        if op == "push":
+            fast.push(now + delta, serial)
+            reference.push(now + delta, serial)
+        elif len(reference):
+            expected = reference.pop()
+            assert fast.pop() == expected
+            now = expected[0]
+        assert len(fast) == len(reference)
+
+
+# ---------------------------------------------------------------------------
+# Waiter
+# ---------------------------------------------------------------------------
+def test_waiter_fifo():
+    waiter = Waiter()
+    for i in range(3):
+        waiter.park(i)
+    assert len(waiter) == 3
+    assert waiter.wake_one() == 0
+    assert waiter.wake_all() == [1, 2]
+    assert waiter.wake_one() is None
+    assert len(waiter) == 0
