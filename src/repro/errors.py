@@ -74,3 +74,7 @@ class WorkloadError(CyclopsError):
 
 class TelemetryError(CyclopsError):
     """Misuse of the metrics/tracing/profiling subsystem."""
+
+
+class JobError(CyclopsError):
+    """A simulation job failed: bad spec, crashed worker, timeout, ..."""

@@ -7,6 +7,11 @@ sweeps the two sharing knobs that report varies — threads per FPU/cache
 and the number of memory banks — over a bandwidth-bound kernel (Triad)
 and a compute-bound one (DGEMM), printing the trade-off surface.
 
+Each grid cell is an independent simulation, so the sweep fans out
+through :mod:`repro.jobs`: :func:`point` simulates one cell (a
+``sharing`` degree or a ``banks`` count) and :func:`run` assembles the
+tables, parallel and cached when given a ``runner=``.
+
 Not a paper artifact; registered as ``family`` for completeness.
 """
 
@@ -17,18 +22,75 @@ from dataclasses import replace
 from repro.analysis.tables import format_table
 from repro.config import ChipConfig
 from repro.experiments.registry import ExperimentReport, register
+from repro.jobs.pool import JobRunner
+from repro.jobs.spec import JobSpec
 from repro.runtime.kernel import AllocationPolicy
 from repro.workloads.dgemm import DgemmParams, run_dgemm
 from repro.workloads.stream import StreamParams, run_stream
 
+#: Task reference for one cell of the trade-off surface.
+POINT_TASK = "repro.experiments.family_sweep:point"
+
+
+def _sharing_cell(degree: int, quick: bool) -> dict:
+    """Triad + DGEMM on a 64-thread chip at one FPU/cache sharing degree."""
+    n_threads = 16 if quick else 32
+    per_thread = 200 if quick else 400
+    cfg = ChipConfig(
+        n_threads=64, threads_per_quad=degree,
+        quads_per_icache=1 if degree >= 8 else 2,
+    )
+    triad = run_stream(StreamParams(
+        kernel="triad", n_elements=n_threads * per_thread,
+        n_threads=n_threads, policy=AllocationPolicy.SEQUENTIAL,
+    ), config=cfg)
+    dgemm = run_dgemm(DgemmParams(
+        n=16, block=8, n_threads=min(n_threads, 16),
+        use_scratchpad=False, policy=AllocationPolicy.SEQUENTIAL,
+    ), config=cfg)
+    return {
+        "n_fpus": int(cfg.n_fpus),
+        "triad_gb_s": float(triad.bandwidth_gb_s),
+        "dgemm_flops_per_cycle": float(dgemm.flops_per_cycle),
+        "verified": bool(triad.verified and dgemm.verified),
+    }
+
+
+def _banks_cell(banks: int, quick: bool) -> dict:
+    """Out-of-cache Triad at full occupancy with *banks* memory banks."""
+    # A genuinely out-of-cache working set (3 vectors x 126 x N x 8 B
+    # must dwarf the 512 KB of cache) so the banks are the bottleneck.
+    bank_per_thread = 400 if quick else 1000
+    cfg = replace(ChipConfig.paper(), n_memory_banks=banks)
+    triad = run_stream(StreamParams(
+        kernel="triad", n_elements=126 * bank_per_thread,
+        n_threads=126, warmup=False,
+    ), config=cfg)
+    return {
+        "peak_gb_s": float(cfg.peak_memory_bandwidth / 1e9),
+        "triad_gb_s": float(triad.bandwidth_gb_s),
+        "verified": bool(triad.verified),
+    }
+
+
+def point(spec: JobSpec) -> dict:
+    """Job task: one cell of the family trade-off surface."""
+    p = spec.payload
+    if p["part"] == "sharing":
+        return _sharing_cell(int(p["degree"]), bool(p["quick"]))
+    if p["part"] == "banks":
+        return _banks_cell(int(p["banks"]), bool(p["quick"]))
+    raise ValueError(f"unknown family-sweep part {p['part']!r}")
+
 
 @register("family")
-def run(quick: bool = False) -> ExperimentReport:
+def run(quick: bool = False,
+        runner: JobRunner | None = None) -> ExperimentReport:
     """Sweep sharing degree and bank count."""
+    runner = runner if runner is not None else JobRunner()
     sharing_degrees = (2, 4) if quick else (1, 2, 4, 8)
     bank_counts = (8, 16) if quick else (4, 8, 16)
     n_threads = 16 if quick else 32
-    per_thread = 200 if quick else 400
 
     report = ExperimentReport(
         experiment_id="family",
@@ -40,24 +102,22 @@ def run(quick: bool = False) -> ExperimentReport:
                "report [3] studies the family."),
     )
 
+    specs = [JobSpec(task=POINT_TASK, payload={
+        "part": "sharing", "degree": degree, "quick": bool(quick),
+    }) for degree in sharing_degrees]
+    specs += [JobSpec(task=POINT_TASK, payload={
+        "part": "banks", "banks": banks, "quick": bool(quick),
+    }) for banks in bank_counts]
+    values = runner.map(specs)
+    sharing_cells = values[:len(sharing_degrees)]
+    banks_cells = values[len(sharing_degrees):]
+
     rows = []
-    for degree in sharing_degrees:
-        cfg = ChipConfig(
-            n_threads=64, threads_per_quad=degree,
-            quads_per_icache=1 if degree >= 8 else 2,
-        )
-        triad = run_stream(StreamParams(
-            kernel="triad", n_elements=n_threads * per_thread,
-            n_threads=n_threads, policy=AllocationPolicy.SEQUENTIAL,
-        ), config=cfg)
-        dgemm = run_dgemm(DgemmParams(
-            n=16, block=8, n_threads=min(n_threads, 16),
-            use_scratchpad=False, policy=AllocationPolicy.SEQUENTIAL,
-        ), config=cfg)
+    for degree, cell in zip(sharing_degrees, sharing_cells):
         rows.append([
-            degree, cfg.n_fpus, triad.bandwidth_gb_s,
-            dgemm.flops_per_cycle,
-            "yes" if triad.verified and dgemm.verified else "NO",
+            degree, cell["n_fpus"], cell["triad_gb_s"],
+            cell["dgemm_flops_per_cycle"],
+            "yes" if cell["verified"] else "NO",
         ])
     report.tables.append(format_table(
         ["threads/FPU", "FPUs", "triad GB/s", "dgemm flops/cyc",
@@ -69,19 +129,10 @@ def run(quick: bool = False) -> ExperimentReport:
     report.measurements["dgemm_flops_degree_max"] = rows[-1][3]
 
     rows = []
-    # A genuinely out-of-cache working set (3 vectors x 126 x N x 8 B
-    # must dwarf the 512 KB of cache) so the banks are the bottleneck.
-    bank_per_thread = 400 if quick else 1000
-    for banks in bank_counts:
-        cfg = replace(ChipConfig.paper(), n_memory_banks=banks)
-        triad = run_stream(StreamParams(
-            kernel="triad", n_elements=126 * bank_per_thread,
-            n_threads=126, warmup=False,
-        ), config=cfg)
+    for banks, cell in zip(bank_counts, banks_cells):
         rows.append([
-            banks, cfg.peak_memory_bandwidth / 1e9,
-            triad.bandwidth_gb_s,
-            "yes" if triad.verified else "NO",
+            banks, cell["peak_gb_s"], cell["triad_gb_s"],
+            "yes" if cell["verified"] else "NO",
         ])
     report.tables.append(format_table(
         ["banks", "peak GB/s", "measured triad GB/s", "verified"],

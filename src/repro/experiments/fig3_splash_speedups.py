@@ -8,12 +8,20 @@ DESIGN.md section 4; the balanced allocation policy is used so partial
 occupancies spread across quads (any reasonable scheduler does this; with
 sequential packing, FPU sharing inside a quad dominates the low-thread
 points instead of algorithm scalability).
+
+Every ``(kernel, thread-count)`` pair is one independent simulation, so
+the driver fans them out through :mod:`repro.jobs`: :func:`point` is the
+per-point task a worker resolves, and :func:`run` accepts a
+``runner=`` to parallelize and cache the sweep (``None`` keeps the
+historical inline behaviour, point for point).
 """
 
 from __future__ import annotations
 
 from repro.analysis.speedup import speedup_curve
 from repro.experiments.registry import ExperimentReport, register
+from repro.jobs.pool import JobRunner
+from repro.jobs.spec import JobSpec
 from repro.runtime.kernel import AllocationPolicy
 from repro.workloads.barnes import BarnesParams, run_barnes
 from repro.workloads.fft import FFTParams, run_fft
@@ -24,64 +32,76 @@ from repro.workloads.radix import RadixParams, run_radix
 
 BALANCED = AllocationPolicy.BALANCED
 
+#: Task reference for one (kernel, thread-count) simulation point.
+POINT_TASK = "repro.experiments.fig3_splash_speedups:point"
 
-def _kernels(quick: bool):
-    """(name, thread-counts, runner) per kernel, sized for the sweep."""
+_FULL_COUNTS = [1, 2, 4, 8, 16, 32, 64, 126]
+_QUICK_COUNTS = [1, 2, 4]
+
+
+def plan(quick: bool) -> list[tuple[str, list[int]]]:
+    """``(kernel name, thread counts)`` per curve, in figure order."""
     if quick:
-        counts = [1, 2, 4]
-        return [
-            ("Barnes", counts, lambda p: run_barnes(
-                BarnesParams(n_bodies=64, n_threads=p, policy=BALANCED,
-                             verify=False)).cycles),
-            ("FFT", counts, lambda p: run_fft(
-                FFTParams(n_points=256, n_threads=p, policy=BALANCED,
-                          verify=False)).total_cycles),
-            ("LU", counts, lambda p: run_lu(
-                LUParams(n=32, block=8, n_threads=p, policy=BALANCED,
-                         verify=False)).cycles),
-            ("Ocean", counts, lambda p: run_ocean(
-                OceanParams(grid=18, iterations=2, n_threads=p,
-                            policy=BALANCED, verify=False)).cycles),
-            ("Radix", counts, lambda p: run_radix(
-                RadixParams(n_keys=1024, n_threads=p, policy=BALANCED,
-                            verify=False)).cycles),
-            ("FMM", counts, lambda p: run_fmm(
-                FMMParams(n_bodies=64, levels=2, n_threads=p,
-                          policy=BALANCED, verify=False)).cycles),
-        ]
-    counts = [1, 2, 4, 8, 16, 32, 64, 126]
+        return [(name, list(_QUICK_COUNTS)) for name in
+                ("Barnes", "FFT", "LU", "Ocean", "Radix", "FMM")]
     return [
-        ("Barnes", counts, lambda p: run_barnes(
-            BarnesParams(n_bodies=512, n_threads=p, policy=BALANCED,
-                         verify=False)).cycles),
+        ("Barnes", list(_FULL_COUNTS)),
         # FFT needs a power-of-two thread count and two hardware threads
         # are reserved, so 64 is its ceiling (the paper hits the same
         # wall in Figure 7b).
-        ("FFT", [1, 2, 4, 8, 16, 32, 64],
-         lambda p: run_fft(
-             FFTParams(n_points=16384, n_threads=p, policy=BALANCED,
-                       verify=False)).total_cycles),
-        # Four levels: 256 finest cells, enough M2L work for every thread.
-        ("FMM", counts, lambda p: run_fmm(
-            FMMParams(n_bodies=512, levels=4, n_threads=p,
-                      policy=BALANCED, verify=False)).cycles),
-        ("LU", counts, lambda p: run_lu(
-            LUParams(n=96, block=8, n_threads=p, policy=BALANCED,
-                     verify=False)).cycles),
-        # 254x254 grid: 252 interior rows — exactly two bands per thread
-        # at 126, avoiding the 128-over-126 imbalance cliff.
-        ("Ocean", counts, lambda p: run_ocean(
-            OceanParams(grid=254, iterations=1, n_threads=p,
-                        policy=BALANCED, verify=False)).cycles),
-        ("Radix", counts, lambda p: run_radix(
-            RadixParams(n_keys=16384, n_threads=p, policy=BALANCED,
-                        verify=False)).cycles),
+        ("FFT", [1, 2, 4, 8, 16, 32, 64]),
+        ("FMM", list(_FULL_COUNTS)),
+        ("LU", list(_FULL_COUNTS)),
+        ("Ocean", list(_FULL_COUNTS)),
+        ("Radix", list(_FULL_COUNTS)),
     ]
 
 
+def simulate_point(kernel: str, n_threads: int, quick: bool) -> int:
+    """Cycles for one kernel at one thread count (sizes per DESIGN.md)."""
+    if kernel == "Barnes":
+        return run_barnes(BarnesParams(
+            n_bodies=64 if quick else 512, n_threads=n_threads,
+            policy=BALANCED, verify=False)).cycles
+    if kernel == "FFT":
+        return run_fft(FFTParams(
+            n_points=256 if quick else 16384, n_threads=n_threads,
+            policy=BALANCED, verify=False)).total_cycles
+    if kernel == "FMM":
+        # Four levels: 256 finest cells, enough M2L work for every thread.
+        return run_fmm(FMMParams(
+            n_bodies=64 if quick else 512, levels=2 if quick else 4,
+            n_threads=n_threads, policy=BALANCED, verify=False)).cycles
+    if kernel == "LU":
+        return run_lu(LUParams(
+            n=32 if quick else 96, block=8, n_threads=n_threads,
+            policy=BALANCED, verify=False)).cycles
+    if kernel == "Ocean":
+        # 254x254 grid: 252 interior rows — exactly two bands per thread
+        # at 126, avoiding the 128-over-126 imbalance cliff.
+        return run_ocean(OceanParams(
+            grid=18 if quick else 254, iterations=2 if quick else 1,
+            n_threads=n_threads, policy=BALANCED, verify=False)).cycles
+    if kernel == "Radix":
+        return run_radix(RadixParams(
+            n_keys=1024 if quick else 16384, n_threads=n_threads,
+            policy=BALANCED, verify=False)).cycles
+    raise ValueError(f"unknown Splash-2 kernel {kernel!r}")
+
+
+def point(spec: JobSpec) -> dict:
+    """Job task: one simulation point, JSON-safe."""
+    p = spec.payload
+    cycles = simulate_point(p["kernel"], int(p["n_threads"]),
+                            bool(p["quick"]))
+    return {"cycles": int(cycles)}
+
+
 @register("fig3")
-def run(quick: bool = False) -> ExperimentReport:
+def run(quick: bool = False,
+        runner: JobRunner | None = None) -> ExperimentReport:
     """Sweep thread counts for each Splash-2 kernel and report speedups."""
+    runner = runner if runner is not None else JobRunner()
     report = ExperimentReport(
         experiment_id="fig3",
         title="SPLASH-2 parallel speedups",
@@ -92,10 +112,17 @@ def run(quick: bool = False) -> ExperimentReport:
                "Splash-2 paper — near-linear for most, lowest for the "
                "communication-bound kernels."),
     )
+    sweep = plan(quick)
+    specs = [
+        JobSpec(task=POINT_TASK, payload={
+            "kernel": name, "n_threads": p, "quick": bool(quick),
+        })
+        for name, counts in sweep for p in counts
+    ]
+    values = iter(runner.map(specs))
     measurements = {}
-    for name, counts, runner in _kernels(quick):
-        # FFT's power-of-two constraint caps threads differently.
-        cycles = [runner(p) for p in counts]
+    for name, counts in sweep:
+        cycles = [next(values)["cycles"] for _ in counts]
         curve = speedup_curve(name, counts, cycles)
         report.series.append(curve)
         measurements[f"{name.lower()}_speedup_at_{counts[-1]}"] = curve.y[-1]

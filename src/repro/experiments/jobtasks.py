@@ -1,0 +1,42 @@
+"""Job-task wrappers around experiment drivers.
+
+These are the functions :mod:`repro.jobs` workers resolve by name. The
+whole-experiment task is the coarse unit the CLI runner fans out for
+drivers that cannot decompose further; the decomposable drivers
+(``fig3``, ``family``) expose their own per-simulation-point tasks and
+are listed in :data:`FANOUT_EXPERIMENTS` so the runner calls them in
+the orchestrating process instead, letting their points fill the pool.
+"""
+
+from __future__ import annotations
+
+from repro.jobs.spec import JobSpec, jsonify
+
+#: Experiment ids whose drivers fan out their own simulation points
+#: (they accept a ``runner=`` keyword). Running these as one opaque job
+#: would serialize their inner sweep onto a single worker.
+FANOUT_EXPERIMENTS = frozenset({"fig3", "family"})
+
+#: Task reference for :func:`run_experiment`.
+RUN_EXPERIMENT_TASK = "repro.experiments.jobtasks:run_experiment"
+
+
+def experiment_spec(experiment_id: str, quick: bool) -> JobSpec:
+    """The spec that runs one whole experiment as a single job."""
+    return JobSpec(
+        task=RUN_EXPERIMENT_TASK,
+        payload={"experiment_id": experiment_id, "quick": bool(quick)},
+    )
+
+
+def run_experiment(spec: JobSpec) -> dict:
+    """Execute one registered experiment driver; returns its report dict.
+
+    Drivers invoked here run with the default inline job runner — a
+    worker never opens a nested pool of its own.
+    """
+    from repro.experiments import get_experiment
+
+    driver = get_experiment(spec.payload["experiment_id"])
+    report = driver(quick=bool(spec.payload.get("quick", False)))
+    return jsonify(report.to_dict())

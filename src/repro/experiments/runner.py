@@ -6,6 +6,16 @@ Subcommands::
     run <id> [--quick]   run one experiment (or ``all``) and print it
     run all -o out/      also write one report file per experiment
     run <id> --json f    also write machine-readable results as JSON
+    run all -j 4         fan out through the repro.jobs worker pool
+
+With ``-j N`` the experiments run through :mod:`repro.jobs`: whole
+experiments become jobs (and the decomposable sweeps — fig3, family —
+fan out their individual simulation points), results are cached by
+content so a re-run only simulates what changed, and a crashing or
+hanging experiment no longer takes ``run all`` down with it. Failures
+are collected and reported at the end; the exit code is 0 on success,
+1 when any experiment failed, and 2 for usage errors such as an
+unknown experiment id.
 """
 
 from __future__ import annotations
@@ -15,8 +25,21 @@ import json
 import pathlib
 import sys
 import time
+import traceback
 
-from repro.experiments.registry import REGISTRY, get_experiment
+from repro.experiments.jobtasks import (
+    FANOUT_EXPERIMENTS,
+    experiment_spec,
+)
+from repro.experiments.registry import (
+    REGISTRY,
+    ExperimentReport,
+    get_experiment,
+)
+from repro.jobs.cache import ResultCache
+from repro.jobs.pool import JobEvent, JobRunner
+from repro.jobs.spec import jsonify
+from repro.telemetry.metrics import MetricsRegistry
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -36,7 +59,30 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--json", default=None, metavar="PATH",
                          help="write all results as one JSON document "
                               "(experiment id -> report dict)")
+    run_cmd.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
+                         help="run through the repro.jobs pool with N "
+                              "workers (enables result caching; N=1 "
+                              "executes inline)")
+    run_cmd.add_argument("--no-cache", action="store_true",
+                         help="with -j: skip the result cache")
+    run_cmd.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="with -j: cache location (default "
+                              "$REPRO_JOBS_CACHE_DIR or .repro-cache/jobs)")
+    run_cmd.add_argument("--job-timeout", type=float, default=None,
+                         metavar="S",
+                         help="with -j: per-experiment timeout in seconds")
+    run_cmd.add_argument("--retries", type=int, default=2,
+                         help="with -j: attempts after a crash/timeout "
+                              "(default 2)")
     return parser
+
+
+def _progress(event: JobEvent) -> None:
+    """Surface the pool's failure-path events on stderr."""
+    if event.kind in ("retry", "respawn", "timeout", "degrade"):
+        what = event.spec.describe() if event.spec else "pool"
+        detail = event.detail.strip().splitlines()[-1] if event.detail else ""
+        print(f"[jobs] {event.kind}: {what} {detail}", file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -47,31 +93,101 @@ def main(argv: list[str] | None = None) -> int:
             print(experiment_id)
         return 0
 
-    ids = sorted(REGISTRY) if args.experiment == "all" \
-        else [args.experiment]
+    if args.experiment == "all":
+        ids = sorted(REGISTRY)
+    elif args.experiment in REGISTRY:
+        ids = [args.experiment]
+    else:
+        known = ", ".join(sorted(REGISTRY))
+        print(f"error: unknown experiment {args.experiment!r}\n"
+              f"known experiments: {known}, all", file=sys.stderr)
+        return 2
+    if args.jobs is not None and args.jobs < 1:
+        print(f"error: -j must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+
     out_dir = pathlib.Path(args.output_dir) if args.output_dir else None
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
     json_reports: dict[str, dict] = {}
-    for experiment_id in ids:
-        driver = get_experiment(experiment_id)
-        started = time.time()
-        report = driver(quick=args.quick)
-        elapsed = time.time() - started
+
+    def emit(experiment_id: str, report: ExperimentReport,
+             elapsed: float) -> None:
         text = report.render() + f"\n\n(completed in {elapsed:.1f}s)\n"
         print(text)
         if out_dir:
             (out_dir / f"{experiment_id}.txt").write_text(text)
         if args.json:
-            entry = report.to_dict()
-            entry["elapsed_seconds"] = round(elapsed, 3)
+            entry = jsonify(report.to_dict())
+            if not args.quick:
+                # Host wall-clock is noisy; --quick output stays diffable.
+                entry["elapsed_seconds"] = round(elapsed, 3)
             entry["quick"] = bool(args.quick)
             json_reports[experiment_id] = entry
+
+    failures: dict[str, str] = {}
+    use_jobs = args.jobs is not None
+    runner = None
+    if use_jobs:
+        cache = None
+        if not args.no_cache:
+            cache = ResultCache(args.cache_dir) if args.cache_dir \
+                else ResultCache.default()
+        runner = JobRunner(
+            n_workers=args.jobs,
+            cache=cache,
+            timeout=args.job_timeout,
+            retries=args.retries,
+            metrics=MetricsRegistry(),
+            on_event=_progress,
+        )
+        plain = [i for i in ids if i not in FANOUT_EXPERIMENTS]
+        fanout = [i for i in ids if i in FANOUT_EXPERIMENTS]
+        specs = [experiment_spec(i, args.quick) for i in plain]
+        for experiment_id, result in zip(plain, runner.run(specs)):
+            if result.ok:
+                emit(experiment_id, ExperimentReport.from_dict(result.value),
+                     result.elapsed)
+            else:
+                failures[experiment_id] = result.error or "unknown error"
+        for experiment_id in fanout:
+            driver = get_experiment(experiment_id)
+            started = time.time()
+            try:
+                report = driver(quick=args.quick, runner=runner)
+            except Exception:
+                failures[experiment_id] = traceback.format_exc(limit=20)
+            else:
+                emit(experiment_id, report, time.time() - started)
+    else:
+        for experiment_id in ids:
+            driver = get_experiment(experiment_id)
+            started = time.time()
+            try:
+                report = driver(quick=args.quick)
+            except Exception:
+                failures[experiment_id] = traceback.format_exc(limit=20)
+            else:
+                emit(experiment_id, report, time.time() - started)
+
     if args.json:
+        if runner is not None:
+            json_reports["_jobs"] = dict(runner.stats)
         path = pathlib.Path(args.json)
         if path.parent != pathlib.Path("."):
             path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(json_reports, indent=2, sort_keys=True))
+
+    if failures:
+        print(f"{len(failures)} of {len(ids)} experiments FAILED:",
+              file=sys.stderr)
+        for experiment_id in sorted(failures):
+            last = failures[experiment_id].strip().splitlines()[-1]
+            print(f"  {experiment_id}: {last}", file=sys.stderr)
+        for experiment_id in sorted(failures):
+            print(f"\n--- {experiment_id} ---\n{failures[experiment_id]}",
+                  file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,0 +1,195 @@
+"""Job specifications: the pickle-free unit of work of :mod:`repro.jobs`.
+
+A :class:`JobSpec` describes one simulation as plain data — a *task*
+reference (``"module:function"``), a JSON-safe *payload*, an optional
+:class:`~repro.config.ChipConfig` (as the :mod:`repro.configio`
+dictionary form) and a seed. Specs cross process boundaries as
+dictionaries and are rebuilt on the far side, so workers never unpickle
+closures and a spec written to disk today resolves identically tomorrow.
+
+The cache key of a spec is the SHA-256 of its canonical JSON plus the
+*code version* — a fingerprint over every ``repro`` source file — so
+editing any module invalidates every cached result at once. Set
+``REPRO_JOBS_CODE_VERSION`` to pin the fingerprint explicitly (useful in
+tests and when experimenting with cache retention across edits).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import os
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import JobError
+
+
+def jsonify(value: Any) -> Any:
+    """Recursively coerce *value* to plain JSON-safe python.
+
+    Tuples become lists, numpy scalars collapse to their python
+    equivalents (anything exposing ``.item()``), and unsupported types
+    raise :class:`~repro.errors.JobError` so a task returning a live
+    object fails loudly at the producer, not at a cache read later.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    # int()/float() also strip numpy subclasses (np.float64 IS a float).
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [jsonify(item) for item in value]
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise JobError(f"job payloads need string keys, got {key!r}")
+            out[key] = jsonify(item)
+        return out
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalars (float64, int64, bool_)
+        return jsonify(item())
+    raise JobError(
+        f"value of type {type(value).__name__} is not JSON-safe: {value!r}"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace variance."""
+    return json.dumps(jsonify(value), sort_keys=True, separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# Code-version fingerprint
+# ---------------------------------------------------------------------------
+_CODE_VERSION: str | None = None
+
+
+def code_version() -> str:
+    """Fingerprint of every ``repro`` source file (cached per process)."""
+    global _CODE_VERSION
+    override = os.environ.get("REPRO_JOBS_CODE_VERSION")
+    if override:
+        return override
+    if _CODE_VERSION is None:
+        import repro
+
+        root = pathlib.Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+# ---------------------------------------------------------------------------
+# Task resolution
+# ---------------------------------------------------------------------------
+def resolve_task(task: str) -> Callable[["JobSpec"], Any]:
+    """Import the ``"module:function"`` a spec names.
+
+    Resolution happens by name in whichever process executes the job, so
+    the reference must be importable everywhere — a module-level function
+    of an installed package, never a lambda or a test-local closure.
+    """
+    module_name, _, func_name = task.partition(":")
+    if not module_name or not func_name:
+        raise JobError(
+            f"task {task!r} is not of the form 'package.module:function'"
+        )
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as error:
+        raise JobError(f"cannot import task module {module_name!r}: {error}")
+    func = getattr(module, func_name, None)
+    if not callable(func):
+        raise JobError(f"{module_name!r} has no callable {func_name!r}")
+    return func
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One simulation job, as plain data.
+
+    ``task`` names the function to run (``"module:function"``); it
+    receives the spec itself and returns a JSON-safe value. ``payload``
+    carries the task parameters, ``config`` an optional chip
+    configuration in :func:`repro.configio.config_to_dict` form, and
+    ``seed`` a reproducibility knob for stochastic workloads.
+    """
+
+    task: str
+    payload: dict = field(default_factory=dict)
+    config: dict | None = None
+    seed: int = 0
+
+    def chip_config(self):
+        """The spec's :class:`~repro.config.ChipConfig`, or ``None``."""
+        if self.config is None:
+            return None
+        from repro.configio import config_from_dict
+
+        return config_from_dict(self.config)
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe form (also what crosses the worker queue)."""
+        return {
+            "task": self.task,
+            "payload": jsonify(self.payload),
+            "config": jsonify(self.config) if self.config else None,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        try:
+            return cls(
+                task=data["task"],
+                payload=dict(data.get("payload") or {}),
+                config=data.get("config"),
+                seed=int(data.get("seed", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise JobError(f"malformed job spec {data!r}: {error}")
+
+    # -- identity -------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content address: SHA-256 of canonical spec + code version.
+
+        Two specs share a fingerprint exactly when they would run the
+        same simulation under the same code, which is the cache-reuse
+        contract of :class:`repro.jobs.cache.ResultCache`.
+        """
+        body = canonical_json(self.to_dict()) + "#" + code_version()
+        return hashlib.sha256(body.encode()).hexdigest()
+
+    def describe(self) -> str:
+        """Short human label: task name plus the most telling payload."""
+        inner = ",".join(
+            f"{k}={self.payload[k]}" for k in sorted(self.payload)
+            if isinstance(self.payload[k], (str, int, bool))
+        )
+        return f"{self.task.rsplit(':', 1)[-1]}({inner})"
+
+
+def execute_spec(spec: JobSpec) -> tuple[Any, float]:
+    """Run one spec in the current process.
+
+    Returns ``(value, elapsed_seconds)`` where *value* has already been
+    through :func:`jsonify`, so pool and cache can store it as-is.
+    """
+    func = resolve_task(spec.task)
+    started = time.perf_counter()
+    value = func(spec)
+    elapsed = time.perf_counter() - started
+    return jsonify(value), elapsed

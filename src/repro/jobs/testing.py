@@ -1,0 +1,52 @@
+"""Importable task functions for exercising the job subsystem.
+
+Tasks resolve by name in whatever process runs them, so test doubles
+cannot be closures — they must live in an importable module. These are
+the canonical fixtures: deterministic compute, induced failure, induced
+crash, and induced hang, each driven entirely by the spec payload.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.errors import JobError
+from repro.jobs.spec import JobSpec
+
+
+def echo(spec: JobSpec) -> dict:
+    """Return the payload (plus the seed) untouched."""
+    return {"payload": dict(spec.payload), "seed": spec.seed}
+
+
+def square(spec: JobSpec) -> int:
+    """``payload["n"]`` squared — a deterministic 'simulation'."""
+    return int(spec.payload["n"]) ** 2
+
+
+def fail(spec: JobSpec) -> None:
+    """Raise with the payload's message (deterministic task error)."""
+    raise JobError(spec.payload.get("message", "induced failure"))
+
+
+def sleep(spec: JobSpec) -> float:
+    """Sleep ``payload["seconds"]`` — the timeout-path fixture."""
+    seconds = float(spec.payload["seconds"])
+    time.sleep(seconds)
+    return seconds
+
+
+def crash_once(spec: JobSpec) -> dict:
+    """Kill the hosting process the first time, succeed afterwards.
+
+    ``payload["marker"]`` names a file used as the cross-process
+    "already crashed" flag: absent means first attempt (create it, then
+    die without reporting), present means a retry (return normally).
+    """
+    marker = spec.payload["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8") as handle:
+            handle.write("crashed\n")
+        os._exit(17)
+    return {"recovered": True}

@@ -1,5 +1,7 @@
 """Tests for the experiment drivers (quick mode) and the CLI runner."""
 
+import json
+
 import pytest
 
 from repro.errors import CyclopsError
@@ -78,6 +80,83 @@ class TestRunnerCli:
         assert main(["run", "table2", "--quick", "-o", str(tmp_path)]) == 0
         assert (tmp_path / "table2.txt").exists()
 
-    def test_unknown_id_raises(self):
-        with pytest.raises(CyclopsError):
-            main(["run", "nope"])
+    def test_unknown_id_exits_2_listing_known(self, capsys):
+        assert main(["run", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment 'nope'" in err
+        # The known ids are printed so the user can correct the typo.
+        assert "table2" in err and "fig7" in err
+
+    def test_bad_worker_count_exits_2(self, capsys):
+        assert main(["run", "table2", "-j", "0"]) == 2
+        assert "-j must be >= 1" in capsys.readouterr().err
+
+    def test_run_all_reports_failures_at_end(self, capsys, monkeypatch):
+        """One broken driver no longer aborts the whole batch."""
+        from repro.experiments import registry, runner
+
+        calls = []
+
+        def broken(quick=False):
+            calls.append("broken")
+            raise RuntimeError("induced driver failure")
+
+        def healthy(quick=False):
+            calls.append("healthy")
+            return registry.ExperimentReport(
+                experiment_id="zz_ok", title="ok", paper="-")
+
+        fake = {"aa_broken": broken, "zz_ok": healthy}
+        monkeypatch.setattr(registry, "REGISTRY", fake)
+        monkeypatch.setattr(runner, "REGISTRY", fake)
+        assert main(["run", "all", "--quick"]) == 1
+        captured = capsys.readouterr()
+        # The failing driver ran first yet the healthy one still ran.
+        assert calls == ["broken", "healthy"]
+        assert "zz_ok" in captured.out
+        assert "1 of 2" in captured.err and "aa_broken" in captured.err
+        assert "induced driver failure" in captured.err
+
+
+class TestRunnerJobsMode:
+    """The -j path: pooled execution, caching, and diffable JSON."""
+
+    def test_quick_json_omits_elapsed(self, tmp_path, capsys):
+        path = tmp_path / "quick.json"
+        assert main(["run", "table2", "--quick", "--json", str(path)]) == 0
+        capsys.readouterr()
+        entry = json.loads(path.read_text())["table2"]
+        assert "elapsed_seconds" not in entry
+        assert entry["quick"] is True
+
+    def test_full_json_keeps_elapsed(self, tmp_path, capsys):
+        path = tmp_path / "full.json"
+        # table2 is latency microbenchmarks — fast even at full scale.
+        assert main(["run", "table2", "--json", str(path)]) == 0
+        capsys.readouterr()
+        entry = json.loads(path.read_text())["table2"]
+        assert entry["elapsed_seconds"] >= 0
+        assert entry["quick"] is False
+
+    def test_jobs_mode_matches_serial_and_caches(
+            self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS_CACHE_DIR",
+                           str(tmp_path / "cache"))
+        serial = tmp_path / "serial.json"
+        cold = tmp_path / "cold.json"
+        warm = tmp_path / "warm.json"
+        assert main(["run", "table2", "--quick", "--json",
+                     str(serial)]) == 0
+        assert main(["run", "table2", "--quick", "-j", "2", "--json",
+                     str(cold)]) == 0
+        assert main(["run", "table2", "--quick", "-j", "2", "--json",
+                     str(warm)]) == 0
+        capsys.readouterr()
+        serial_doc = json.loads(serial.read_text())
+        cold_doc = json.loads(cold.read_text())
+        warm_doc = json.loads(warm.read_text())
+        assert serial_doc["table2"] == cold_doc["table2"] \
+            == warm_doc["table2"]
+        assert cold_doc["_jobs"]["cache_hits"] == 0
+        assert warm_doc["_jobs"]["cache_hits"] \
+            == warm_doc["_jobs"]["submitted"]
