@@ -29,7 +29,8 @@ class Chip:
 
     def __init__(self, config: ChipConfig | None = None,
                  strict_incoherence: bool = False,
-                 tracer: Tracer = NULL_TRACER) -> None:
+                 tracer: Tracer = NULL_TRACER,
+                 sanitize: bool | None = None) -> None:
         self.config = config or ChipConfig.paper()
         self.tracer = tracer
         #: Optional :class:`~repro.telemetry.instrument.ChipInstrumentation`.
@@ -57,6 +58,18 @@ class Chip:
             self.config, strict_incoherence=strict_incoherence, tracer=tracer
         )
         self.barrier_spr = BarrierSPRFile(self.config)
+        #: Optional coherence checker (:mod:`repro.sanitizer`). Enabled
+        #: explicitly via ``sanitize=True``, or for every chip when
+        #: ``CYCLOPS_SANITIZE=1`` is set (or a CLI passed ``--sanitize``).
+        #: When off the simulator carries no sanitizer code at all.
+        if sanitize is None:
+            from repro.sanitizer.session import env_enabled
+            sanitize = env_enabled()
+        if sanitize:
+            from repro.sanitizer import CoherenceSanitizer
+            self.sanitizer = CoherenceSanitizer().attach(self)
+        else:
+            self.sanitizer = None
 
     # ------------------------------------------------------------------
     # Navigation helpers

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from repro.core.chip import Chip
 from repro.errors import MemoryFault
+from repro.memory.address import IG_SHIFT
 
 
 class FaultController:
@@ -85,10 +86,20 @@ class FaultController:
             target = original(ms, ig_byte, physical, quad_id)
             if target in disabled:
                 # Deterministic fallback: next healthy cache in id order.
-                return healthy[target % len(healthy)]
+                target = healthy[target % len(healthy)]
+                if ig_byte:
+                    # The original call above memoized the *unremapped*
+                    # target, and MemorySubsystem.access probes the memo
+                    # inline before calling us — overwrite the entry so
+                    # every path agrees on the line's one healthy home.
+                    key = (ig_byte << IG_SHIFT) | (physical & ms._line_mask)
+                    ms._target_memo[key] = target
             return target
 
         memory.target_cache = remapped.__get__(memory, type(memory))
+        # Entries memoized before the fault may point at caches that are
+        # now disabled; drop them (they rebuild through the remap).
+        memory._target_memo.clear()
 
     # ------------------------------------------------------------------
     @property

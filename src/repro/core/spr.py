@@ -36,6 +36,9 @@ class BarrierSPRFile:
         self._spr = [0] * self.n_threads
         #: Cached OR of all registers, maintained incrementally.
         self._or_value = 0
+        #: Optional coherence-sanitizer hook (repro.sanitizer): notified
+        #: when a thread arrives without a matching participate.
+        self.sanitizer = None
         #: Per-barrier phase: which of the two bits is "current" (0 or 1).
         self._phase = [0] * self.n_barriers
 
@@ -93,6 +96,13 @@ class BarrierSPRFile:
     def arrive(self, tid: int, barrier_id: int) -> None:
         """Atomically drop the current bit and raise the next bit."""
         current, nxt = self._bits(barrier_id)
+        if self.sanitizer is not None and not (self._spr[tid] & current):
+            self.sanitizer.on_barrier_misuse(
+                tid, barrier_id,
+                "arrive with the current-cycle bit already clear — the "
+                "thread never ran participate() for this barrier cycle "
+                "(or arrived twice)",
+            )
         self.write(tid, (self._spr[tid] & ~current) | nxt)
 
     def current_clear(self, barrier_id: int) -> bool:

@@ -72,6 +72,10 @@ class WorkloadError(CyclopsError):
     """A workload was asked to run with unsatisfiable parameters."""
 
 
+class SanitizerError(CyclopsError):
+    """Misuse of the coherence sanitizer (double attach, bad report path)."""
+
+
 class TelemetryError(CyclopsError):
     """Misuse of the metrics/tracing/profiling subsystem."""
 

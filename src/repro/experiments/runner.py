@@ -74,6 +74,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--retries", type=int, default=2,
                          help="with -j: attempts after a crash/timeout "
                               "(default 2)")
+    run_cmd.add_argument("--sanitize", action="store_true",
+                         help="run under the coherence sanitizer (see "
+                              "docs/memory-model.md); incompatible with "
+                              "-j, prints findings and exits 1 if any")
+    run_cmd.add_argument("--sanitize-report", default=None, metavar="PATH",
+                         help="with --sanitize: also write the findings "
+                              "as JSON to PATH")
     return parser
 
 
@@ -105,6 +112,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs is not None and args.jobs < 1:
         print(f"error: -j must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
+    if args.sanitize and args.jobs is not None:
+        # Worker processes would collect findings in their own session
+        # rosters and silently drop them; refuse rather than mislead.
+        print("error: --sanitize requires serial execution (drop -j)",
+              file=sys.stderr)
+        return 2
+    if args.sanitize:
+        from repro.sanitizer import session as sanitizer_session
+        sanitizer_session.reset()
+        sanitizer_session.force(True)
 
     out_dir = pathlib.Path(args.output_dir) if args.output_dir else None
     if out_dir:
@@ -170,6 +187,23 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 emit(experiment_id, report, time.time() - started)
 
+    sanitizer_failed = False
+    if args.sanitize:
+        from repro.sanitizer import session as sanitizer_session
+        from repro.sanitizer.report import (
+            render_report,
+            session_report,
+            write_json,
+        )
+        sanitizer_session.force(False)
+        sanitizer_findings = session_report()
+        print(render_report(sanitizer_findings))
+        if args.sanitize_report:
+            write_json(args.sanitize_report, sanitizer_findings)
+        if args.json:
+            json_reports["_sanitizer"] = sanitizer_findings
+        sanitizer_failed = bool(sanitizer_findings["total_findings"])
+
     if args.json:
         if runner is not None:
             json_reports["_jobs"] = dict(runner.stats)
@@ -188,7 +222,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"\n--- {experiment_id} ---\n{failures[experiment_id]}",
                   file=sys.stderr)
         return 1
-    return 0
+    return 1 if sanitizer_failed else 0
 
 
 if __name__ == "__main__":

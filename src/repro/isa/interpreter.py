@@ -76,7 +76,20 @@ class _ThreadState:
         self.pib = PrefetchBuffer(tu.config)
         self.program = program
         self.halted = False
-        self.memory = chip.memory
+        memory = chip.memory
+        # With a coherence sanitizer attached, route this thread's
+        # accesses through an observing facade. Handlers look ``memory``
+        # up per access and set ``pc`` to the next instruction only on
+        # completion, so the facade can report the faulting instruction
+        # address without any handler change.
+        sanitizer = memory.sanitizer
+        if sanitizer is not None:
+            base = program.base
+            memory = sanitizer.thread_view(
+                memory, tu.tid,
+                pc_of=lambda state=self: base + 4 * state.pc,
+            )
+        self.memory = memory
         self.backing = chip.memory.backing
         self.fpu = chip.fpu_of(tu.tid)
         self.spr = chip.barrier_spr

@@ -17,6 +17,22 @@ cache" (possibly replicated, software-managed) through fixed subsets up
 to "one of all 32" — the default, which makes the 32 caches behave as a
 single 512 KB coherent unit. :mod:`repro.memory.subsystem` composes the
 pieces into the access paths of Figure 2 (a, b-g, d-e, f-c-f-e-d).
+
+The consistency contract — what software must flush/invalidate, and
+when — is documented in ``docs/memory-model.md``. The coherence
+sanitizer (:mod:`repro.sanitizer`) maintains shadow line state through
+three cold hook points in this package, all ``None`` and never tested
+on the hot path:
+
+* ``MemorySubsystem.sanitizer`` — set by ``CoherenceSanitizer.attach``;
+  thread constructors consult it once to wrap their memory reference in
+  an observing facade (the fast access paths are untouched);
+* ``CacheUnit.observer`` — notified on evictions (writeback), bare
+  invalidates (discard), and whole-cache flushes, the events that move
+  dirty data to the backing memory or lose it;
+* ``MemorySubsystem.flush_line`` reports each ``dcbf`` to the sanitizer
+  before dropping the line, since unlike ``dcbi`` it writes dirty data
+  back.
 """
 
 from repro.memory.address import AddressMap, line_address, split_effective, make_effective

@@ -82,6 +82,11 @@ class CacheUnit:
             self._set_shift = None
             self._set_mask = 0
         self._scratchpad = bytearray()
+        #: Optional coherence-sanitizer observer (repro.sanitizer). It is
+        #: notified of evictions, invalidates, and flushes — the events
+        #: that decide whether dirty data architecturally reaches memory.
+        #: The hit path (inlined in MemorySubsystem.access) never tests it.
+        self.observer = None
         # counters
         self.hits = 0
         self.misses = 0
@@ -202,6 +207,8 @@ class CacheUnit:
             self.writebacks += 1
             if victim_state.data is not None:
                 victim_data = bytes(victim_state.data)
+        if self.observer is not None:
+            self.observer.on_evict(self.cache_id, victim_line, victim_dirty)
         lines[line_addr] = LineState(dirty=is_store, data=data)
         return AccessResult(
             hit=False,
@@ -212,15 +219,22 @@ class CacheUnit:
 
     def invalidate(self, line_addr: int) -> LineState | None:
         """Drop a line without writing it back; returns its final state."""
-        return self._sets[self._set_index(line_addr)].pop(line_addr, None)
+        state = self._sets[self._set_index(line_addr)].pop(line_addr, None)
+        if state is not None and self.observer is not None:
+            self.observer.on_cache_invalidate(self.cache_id, line_addr,
+                                              state.dirty)
+        return state
 
     def flush(self) -> list[tuple[int, LineState]]:
         """Drop every line; returns the dirty ones (caller writes them back)."""
         dirty: list[tuple[int, LineState]] = []
+        observer = self.observer
         for lines in self._sets:
             for addr, state in lines.items():
                 if state.dirty:
                     dirty.append((addr, state))
+                if observer is not None:
+                    observer.on_evict(self.cache_id, addr, state.dirty)
             lines.clear()
         return dirty
 

@@ -125,6 +125,11 @@ class MemorySubsystem:
         #: recomputation (the keyspace — 256 groups x 256 K lines — is
         #: too large to leave unbounded).
         self._target_memo: dict[int, int] = {}
+        #: Optional attached coherence checker (repro.sanitizer). When
+        #: set, sanitized threads route their accesses through observing
+        #: facades; this subsystem itself only consults it on the cold
+        #: flush path — the access fast path never tests it.
+        self.sanitizer = None
         # Hot-path constants hoisted from the config (immutable per run).
         lat = config.latency
         self._hit_extra = (lat.mem_remote_hit[1], lat.mem_local_hit[1])
@@ -469,6 +474,11 @@ class MemorySubsystem:
         row = self.config.latency.mem_local_hit if local \
             else self.config.latency.mem_remote_hit
         complete = issue_end + row[1]
+        if self.sanitizer is not None:
+            # dcbf writes dirty data back before dropping the line —
+            # report it as a writeback so the shadow memory version
+            # advances (the cache's own invalidate hook is a discard).
+            self.sanitizer.on_flush_line(target, line)
         state = cache.invalidate(line)
         if state is not None and state.dirty:
             bank = self.banks[self.address_map.bank_of(line)]

@@ -47,6 +47,9 @@ class HardwareBarrier:
         #: in cycles between the first and last arrival (load imbalance).
         self.spread_histogram = None
         self._first_arrival: int | None = None
+        #: Coherence sanitizer, if one is attached to the chip: barrier
+        #: releases advance its happens-before epoch for participants.
+        self._sanitizer = kernel.chip.memory.sanitizer
         if kernel.chip.telemetry is not None:
             kernel.chip.telemetry.attach_barrier(self, "hw")
 
@@ -85,6 +88,8 @@ class HardwareBarrier:
             self.spr.advance_phase(self.barrier_id)
             self._arrived = 0
             self.episodes += 1
+            if self._sanitizer is not None:
+                self._sanitizer.on_barrier_release(self._registered)
             if self.spread_histogram is not None:
                 if self._first_arrival is not None:
                     self.spread_histogram.observe(

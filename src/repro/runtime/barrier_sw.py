@@ -50,6 +50,9 @@ class TreeBarrier:
         #: completion (tree depth + load imbalance).
         self.spread_histogram = None
         self._first_entry: int | None = None
+        #: Coherence sanitizer, if one is attached to the chip: the root
+        #: node reports each completed gather as a barrier release.
+        self._sanitizer = kernel.chip.memory.sanitizer
         if kernel.chip.telemetry is not None:
             kernel.chip.telemetry.attach_barrier(self, "sw")
 
@@ -101,14 +104,21 @@ class TreeBarrier:
             yield from ctx.spin_until(
                 self._release_ea(node), lambda v: v >= episode
             )
-        if node == 0 and self.spread_histogram is not None:
-            # The root finishes gathering only after every node entered,
-            # so the spread covers the whole arrival window.
-            if self._first_entry is not None:
-                self.spread_histogram.observe(
-                    ctx.tu.issue_time - self._first_entry
+        if node == 0:
+            if self.spread_histogram is not None:
+                # The root finishes gathering only after every node
+                # entered, so the spread covers the whole arrival window.
+                if self._first_entry is not None:
+                    self.spread_histogram.observe(
+                        ctx.tu.issue_time - self._first_entry
+                    )
+                self._first_entry = None
+            if self._sanitizer is not None:
+                # Gather complete: every participant has arrived, so the
+                # happens-before epoch advances for all of them.
+                self._sanitizer.on_barrier_release(
+                    [self.kernel._threads[i].hw_tid for i in range(self.n)]
                 )
-            self._first_entry = None
         # Release phase: forward downward.
         if left < self.n:
             yield from ctx.store_u32(self._release_ea(left), episode)

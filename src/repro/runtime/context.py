@@ -39,7 +39,14 @@ class ThreadCtx:
     def __init__(self, kernel, tu) -> None:
         self.kernel = kernel
         self.chip = kernel.chip
-        self.memory = kernel.chip.memory
+        memory = kernel.chip.memory
+        # With a coherence sanitizer attached, this thread's accesses
+        # flow through a per-thread observing facade; the swap happens
+        # here, once, so the per-operation paths below stay identical.
+        sanitizer = memory.sanitizer
+        if sanitizer is not None:
+            memory = sanitizer.thread_view(memory, tu.tid)
+        self.memory = memory
         self.tu = tu
         self.tid = tu.tid
         self.quad_id = tu.quad_id
@@ -53,7 +60,6 @@ class ThreadCtx:
         # store wrappers on MemorySubsystem reduce to a timed access plus
         # a backing-store value access, so the context calls those two
         # directly and skips one wrapper frame per memory operation.
-        memory = self.memory
         self._strict = memory.strict
         self._access = memory.access
         backing = memory.backing

@@ -1,0 +1,70 @@
+"""Rendering and JSON export of sanitizer findings.
+
+The CLIs aggregate across every chip the run created (one experiment
+sweep can build dozens) via :mod:`repro.sanitizer.session`; library
+users with a single chip can render ``chip.sanitizer.report()``
+directly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.sanitizer import session
+from repro.sanitizer.shadow import KINDS
+
+
+def session_report() -> dict:
+    """Aggregate report over every sanitizer attached this session."""
+    sanitizers = session.active()
+    return {
+        "chips_sanitized": len(sanitizers),
+        "counts": session.total_counts(),
+        "total_findings": sum(len(s.findings) for s in sanitizers),
+        "findings": [f.to_dict() for s in sanitizers for f in s.findings],
+    }
+
+
+def render_report(report: dict) -> str:
+    """Human-readable summary of a :func:`session_report` dict."""
+    lines = [
+        f"coherence sanitizer: {report['chips_sanitized']} chip(s) "
+        f"observed, {report['total_findings']} finding(s)"
+    ]
+    counts = report.get("counts", {})
+    summary = ", ".join(
+        f"{kind}={counts[kind]}" for kind in KINDS if counts.get(kind)
+    )
+    if summary:
+        lines.append(f"  occurrences: {summary}")
+    for finding in report.get("findings", []):
+        lines.append("  " + _render_dict(finding))
+    return "\n".join(lines)
+
+
+def _render_dict(finding: dict) -> str:
+    where = []
+    if finding.get("time") is not None:
+        where.append(f"t={finding['time']}")
+    if finding.get("tid") is not None:
+        where.append(f"tu={finding['tid']}")
+    if finding.get("pc") is not None:
+        where.append(f"pc={finding['pc']:#x}")
+    if finding.get("effective") is not None:
+        where.append(f"ea={finding['effective']:#010x}")
+    if finding.get("cache_id") is not None:
+        where.append(f"cache={finding['cache_id']}")
+    prefix = " ".join(where)
+    body = finding.get("message", "")
+    return f"[{finding['kind']}] {prefix}: {body}" if prefix \
+        else f"[{finding['kind']}] {body}"
+
+
+def write_json(path: str | pathlib.Path, report: dict) -> pathlib.Path:
+    """Write *report* as pretty-printed JSON; returns the path."""
+    target = pathlib.Path(path)
+    if target.parent != pathlib.Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return target

@@ -32,6 +32,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         default="sequential")
     parser.add_argument("--utilization", action="store_true",
                         help="print the chip utilization breakdown")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run under the coherence sanitizer (see "
+                             "docs/memory-model.md); prints findings and "
+                             "exits 1 if any were found")
+    parser.add_argument("--sanitize-report", default=None, metavar="PATH",
+                        help="with --sanitize: also write the findings "
+                             "as JSON to PATH")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -167,10 +174,34 @@ def _run(args) -> tuple[object, Chip | None]:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
-    result, chip = _run(args)
+    if args.sanitize:
+        # Chips are built inside the workload drivers, so the switch is
+        # session-global; the session roster collects every sanitizer.
+        from repro.sanitizer import session
+        session.reset()
+        session.force(True)
+    try:
+        result, chip = _run(args)
+    finally:
+        if args.sanitize:
+            from repro.sanitizer import session
+            session.force(False)
     if args.utilization and chip is not None:
         print()
         print(utilization(chip, chip_elapsed(chip)).render())
+    if args.sanitize:
+        from repro.sanitizer.report import (
+            render_report,
+            session_report,
+            write_json,
+        )
+        report = session_report()
+        print()
+        print(render_report(report))
+        if args.sanitize_report:
+            write_json(args.sanitize_report, report)
+        if report["total_findings"]:
+            return 1
     return 0
 
 
