@@ -1,0 +1,308 @@
+"""Bench: serving-layer load test (throughput, cache hit rate, p99).
+
+Drives a live in-process :class:`repro.serve.SimServer` with N
+concurrent synthetic clients and writes ``results/BENCH_serve.json``.
+This is the serving-layer analogue of the SPARC T3-4 throughput-
+saturation characterization (PAPERS.md): request rate and tail latency
+under growing client concurrency, with the knee exposed where the pool
+or the admission queue saturates.
+
+Three phases:
+
+* **prime** — each of the K catalog specs is submitted once, cold, so
+  the content-addressed cache holds the whole catalog;
+* **load levels** — for each concurrency level, C client threads each
+  issue a fixed number of requests whose specs are drawn from the
+  catalog with zipf(s) popularity (rank-r weight 1/r^s). The hot head
+  of the catalog is served from the cache; the measurement per level is
+  achieved requests/sec, cache hit rate, and client-observed latency
+  percentiles (including any admission backoff);
+* **overload** — a burst of *uncacheable* jobs at ~10x the admission
+  queue's capacity against a tiny bound, proving load shedding is
+  explicit (429 + Retry-After, counted) and bounded (observed queue
+  depth never exceeds the limit) rather than an OOM.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py            # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick    # CI burst
+
+CI runs ``--quick`` and asserts zero failed requests, a >=90% warm
+hit rate at the final level, and explicit overload rejections (see
+``.github/workflows/ci.yml`` and ``docs/serving.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import tempfile
+import threading
+import time
+
+from repro.serve import Rejected, ServeClient, ServeConfig, serve_in_thread
+from repro.telemetry.metrics import Histogram
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+SERVE_PATH = RESULTS_DIR / "BENCH_serve.json"
+
+#: Zipf popularity exponent for catalog draws (s=1.1: a hot head that
+#: still exercises the tail).
+ZIPF_S = 1.1
+
+#: Simulated cost of one cold catalog job, seconds.
+JOB_SECONDS = 0.01
+
+
+def _zipf_catalog(size: int) -> list[float]:
+    """Cumulative zipf CDF over ranks 1..size."""
+    weights = [1.0 / (rank ** ZIPF_S) for rank in range(1, size + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+    return cumulative
+
+
+def _draw(cdf: list[float], rng: random.Random) -> int:
+    point = rng.random()
+    for rank, edge in enumerate(cdf):
+        if point <= edge:
+            return rank
+    return len(cdf) - 1
+
+
+def _catalog_document(rank: int) -> dict:
+    """The request document for catalog entry *rank* (cache-stable)."""
+    return {"spec": {"task": "repro.jobs.testing:sleep",
+                     "payload": {"seconds": JOB_SECONDS, "rank": rank}}}
+
+
+class _ClientStats:
+    """Thread-safe accumulator shared by one level's client threads."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.completed = 0
+        self.failed = 0
+        self.cached = 0
+        self.jobs = 0
+        self.rejected_attempts = 0
+        self.latency = Histogram("latency", {})
+
+    def record(self, results: list[dict], elapsed: float) -> None:
+        with self.lock:
+            self.completed += 1
+            self.latency.observe(elapsed)
+            for doc in results:
+                self.jobs += 1
+                if not doc.get("ok"):
+                    self.failed += 1
+                elif doc.get("cached"):
+                    self.cached += 1
+
+
+def _run_level(url: str, clients: int, requests_each: int, catalog: int,
+               cdf: list[float]) -> dict:
+    """One concurrency level: C clients x R zipf-drawn requests."""
+    stats = _ClientStats()
+
+    def _client(which: int) -> None:
+        client = ServeClient(url, client_id=f"bench-{which}")
+        rng = random.Random(10_000 * which + clients)
+        for _ in range(requests_each):
+            document = _catalog_document(_draw(cdf, rng))
+            started = time.perf_counter()
+
+            def _reject(_rejection: Rejected) -> None:
+                with stats.lock:
+                    stats.rejected_attempts += 1
+
+            results = client.submit_with_retry(
+                document, attempts=12, max_sleep=0.25, on_reject=_reject)
+            stats.record(results, time.perf_counter() - started)
+
+    threads = [threading.Thread(target=_client, args=(which,))
+               for which in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    snapshot = stats.latency.snapshot()
+    return {
+        "clients": clients,
+        "requests": clients * requests_each,
+        "completed": stats.completed,
+        "failed_jobs": stats.failed,
+        "rejected_attempts": stats.rejected_attempts,
+        "cache_hit_rate": stats.cached / stats.jobs if stats.jobs else 0.0,
+        "throughput_rps": stats.completed / wall if wall else 0.0,
+        "wall_seconds": round(wall, 3),
+        "latency_ms": {
+            "mean": round(snapshot["mean"] * 1e3, 3),
+            "p50": round(snapshot["p50"] * 1e3, 3),
+            "p90": round(snapshot["p90"] * 1e3, 3),
+            "p99": round(snapshot["p99"] * 1e3, 3),
+        },
+    }
+
+
+def _run_overload(workers: int, queue_limit: int, offered: int) -> dict:
+    """Unique (uncacheable) jobs at ~10x queue capacity, no retry."""
+    config = ServeConfig(port=0, n_workers=workers, use_cache=False,
+                         queue_limit=queue_limit, per_client=offered + 1,
+                         batch_window=0.002)
+    outcomes = {"completed": 0, "rejected": 0, "failed": 0}
+    lock = threading.Lock()
+    depth_samples: list[int] = []
+    with serve_in_thread(config) as server:
+        url = f"http://{server.host}:{server.port}"
+
+        def _one(which: int) -> None:
+            client = ServeClient(url, client_id=f"burst-{which}")
+            document = {"spec": {"task": "repro.jobs.testing:sleep",
+                                 "payload": {"seconds": 0.05,
+                                             "burst": which}}}
+            try:
+                results = client.submit(document)
+            except Rejected:
+                with lock:
+                    outcomes["rejected"] += 1
+            else:
+                with lock:
+                    if all(doc.get("ok") for doc in results):
+                        outcomes["completed"] += 1
+                    else:
+                        outcomes["failed"] += 1
+
+        threads = [threading.Thread(target=_one, args=(which,))
+                   for which in range(offered)]
+        for thread in threads:
+            thread.start()
+        probe = ServeClient(url, client_id="probe")
+        while any(thread.is_alive() for thread in threads):
+            depth_samples.append(
+                int(probe.stats()["server"]["queued_jobs"]))
+            time.sleep(0.01)
+        for thread in threads:
+            thread.join()
+    return {
+        "offered": offered,
+        "workers": workers,
+        "queue_limit": queue_limit,
+        "completed": outcomes["completed"],
+        "rejected": outcomes["rejected"],
+        "failed": outcomes["failed"],
+        "max_observed_queue_depth": max(depth_samples, default=0),
+    }
+
+
+def run_load_test(quick: bool = False) -> dict:
+    """Run every phase against a fresh server; returns the payload."""
+    if quick:
+        levels, requests_each, catalog = (2, 8, 24), 6, 16
+        workers, overload_queue = 1, 4
+    else:
+        levels, requests_each, catalog = (4, 16, 64), 12, 48
+        workers, overload_queue = 2, 8
+    cdf = _zipf_catalog(catalog)
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as cache_dir:
+        config = ServeConfig(port=0, n_workers=workers, cache_dir=cache_dir,
+                             queue_limit=max(64, catalog),
+                             per_client=4, batch_window=0.005)
+        with serve_in_thread(config) as server:
+            url = f"http://{server.host}:{server.port}"
+            primer = ServeClient(url, client_id="primer")
+            prime_started = time.perf_counter()
+            primed = 0
+            for rank in range(catalog):
+                result = primer.submit_with_retry(_catalog_document(rank),
+                                                  max_sleep=0.25)[0]
+                if result["ok"] and not result["cached"]:
+                    primed += 1
+            prime_seconds = time.perf_counter() - prime_started
+
+            measured = [
+                _run_level(url, clients, requests_each, catalog, cdf)
+                for clients in levels
+            ]
+            server_stats = ServeClient(url, client_id="primer").stats()
+
+    overload = _run_overload(workers=workers, queue_limit=overload_queue,
+                             offered=10 * overload_queue)
+    return {
+        "suite": "serve_load",
+        "quick": quick,
+        "config": {
+            "workers": workers,
+            "catalog_specs": catalog,
+            "zipf_s": ZIPF_S,
+            "cold_job_seconds": JOB_SECONDS,
+            "requests_per_client": requests_each,
+        },
+        "prime": {"specs": catalog, "cold_runs": primed,
+                  "seconds": round(prime_seconds, 3)},
+        "levels": measured,
+        "overload": overload,
+        "server_cache": server_stats["cache"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced levels and catalog (CI smoke)")
+    parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help=f"artifact path (default {SERVE_PATH})")
+    args = parser.parse_args(argv)
+
+    payload = run_load_test(quick=args.quick)
+    for level in payload["levels"]:
+        print(f"{level['clients']:>3} clients: "
+              f"{level['throughput_rps']:7.1f} req/s, "
+              f"{level['cache_hit_rate']:6.1%} cached, "
+              f"p50 {level['latency_ms']['p50']:7.1f} ms, "
+              f"p99 {level['latency_ms']['p99']:7.1f} ms, "
+              f"{level['rejected_attempts']} shed")
+    overload = payload["overload"]
+    print(f"overload: {overload['offered']} offered against queue limit "
+          f"{overload['queue_limit']} -> {overload['completed']} served, "
+          f"{overload['rejected']} rejected, max depth "
+          f"{overload['max_observed_queue_depth']}")
+
+    path = pathlib.Path(args.output) if args.output else SERVE_PATH
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+    failed = sum(level["failed_jobs"] for level in payload["levels"]) \
+        + overload["failed"]
+    if failed:
+        print(f"FAILED: {failed} jobs did not complete")
+        return 1
+    if overload["max_observed_queue_depth"] > overload["queue_limit"]:
+        print("FAILED: queue depth exceeded the admission bound")
+        return 1
+    return 0
+
+
+def test_serve_load_quick():
+    """Pytest hook: the quick load test holds its guarantees."""
+    payload = run_load_test(quick=True)
+    assert all(level["failed_jobs"] == 0 for level in payload["levels"])
+    assert payload["levels"][-1]["cache_hit_rate"] >= 0.9
+    assert payload["overload"]["rejected"] >= 1
+    assert payload["overload"]["max_observed_queue_depth"] \
+        <= payload["overload"]["queue_limit"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

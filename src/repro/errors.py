@@ -82,3 +82,7 @@ class TelemetryError(CyclopsError):
 
 class JobError(CyclopsError):
     """A simulation job failed: bad spec, crashed worker, timeout, ..."""
+
+
+class ServeError(CyclopsError):
+    """A serving-layer failure: bad request, rejected submission, protocol."""

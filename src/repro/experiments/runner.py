@@ -7,8 +7,14 @@ Subcommands::
     run all -o out/      also write one report file per experiment
     run <id> --json f    also write machine-readable results as JSON
     run all -j 4         fan out through the repro.jobs worker pool
+    run all --serve URL  execute remotely on a repro.serve server
 
-With ``-j N`` the experiments run through :mod:`repro.jobs`: whole
+With ``--serve URL`` each experiment is submitted to a running
+``python -m repro.serve`` instance (see ``docs/serving.md``): the
+server owns pooling, result caching, and admission control, and this
+process only renders what comes back — including warm-cache results
+that never re-simulate. With ``-j N`` the experiments run through
+:mod:`repro.jobs`: whole
 experiments become jobs (and the decomposable sweeps — fig3, family —
 fan out their individual simulation points), results are cached by
 content so a re-run only simulates what changed, and a crashing or
@@ -74,6 +80,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--retries", type=int, default=2,
                          help="with -j: attempts after a crash/timeout "
                               "(default 2)")
+    run_cmd.add_argument("--serve", default=None, metavar="URL",
+                         help="execute experiments remotely on a "
+                              "repro.serve server (e.g. "
+                              "http://127.0.0.1:8642); mutually "
+                              "exclusive with -j and --sanitize")
     run_cmd.add_argument("--sanitize", action="store_true",
                          help="run under the coherence sanitizer (see "
                               "docs/memory-model.md); incompatible with "
@@ -112,6 +123,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs is not None and args.jobs < 1:
         print(f"error: -j must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
+    if args.serve and args.jobs is not None:
+        print("error: --serve executes remotely; drop -j", file=sys.stderr)
+        return 2
+    if args.serve and args.sanitize:
+        print("error: --sanitize requires local serial execution "
+              "(drop --serve)", file=sys.stderr)
+        return 2
     if args.sanitize and args.jobs is not None:
         # Worker processes would collect findings in their own session
         # rosters and silently drop them; refuse rather than mislead.
@@ -145,7 +163,36 @@ def main(argv: list[str] | None = None) -> int:
     failures: dict[str, str] = {}
     use_jobs = args.jobs is not None
     runner = None
-    if use_jobs:
+    serve_stats = None
+    if args.serve:
+        # Remote execution: each experiment becomes one /submit request;
+        # the server owns pooling, caching, and admission control.
+        from repro.errors import ServeError
+        from repro.serve.client import ServeClient
+
+        client = ServeClient(args.serve)
+        serve_stats = {"requests": 0, "cached": 0, "failed": 0}
+        for experiment_id in ids:
+            started = time.time()
+            spec = experiment_spec(experiment_id, args.quick)
+            try:
+                outcome = client.submit_with_retry({"spec": spec.to_dict()})[0]
+            except (ServeError, OSError) as error:
+                failures[experiment_id] = (
+                    f"remote execution on {args.serve} failed: {error}")
+                continue
+            serve_stats["requests"] += 1
+            if outcome.get("ok"):
+                if outcome.get("cached"):
+                    serve_stats["cached"] += 1
+                emit(experiment_id,
+                     ExperimentReport.from_dict(outcome["value"]),
+                     time.time() - started)
+            else:
+                serve_stats["failed"] += 1
+                failures[experiment_id] = \
+                    outcome.get("error") or "remote job failed"
+    elif use_jobs:
         cache = None
         if not args.no_cache:
             cache = ResultCache(args.cache_dir) if args.cache_dir \
@@ -207,6 +254,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         if runner is not None:
             json_reports["_jobs"] = dict(runner.stats)
+        if serve_stats is not None:
+            json_reports["_serve"] = serve_stats
         path = pathlib.Path(args.json)
         if path.parent != pathlib.Path("."):
             path.parent.mkdir(parents=True, exist_ok=True)

@@ -23,8 +23,13 @@ across workers; a warm rerun is served from the cache. See
 """
 
 from repro.errors import JobError
-from repro.jobs.cache import ResultCache
-from repro.jobs.pool import JobEvent, JobResult, JobRunner
+from repro.jobs.cache import ResultCache, stats_document
+from repro.jobs.pool import (
+    JobEvent,
+    JobResult,
+    JobRunner,
+    install_signal_handlers,
+)
 from repro.jobs.spec import JobSpec, code_version, execute_spec, jsonify
 
 __all__ = [
@@ -36,5 +41,7 @@ __all__ = [
     "ResultCache",
     "code_version",
     "execute_spec",
+    "install_signal_handlers",
     "jsonify",
+    "stats_document",
 ]

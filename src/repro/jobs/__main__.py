@@ -5,6 +5,7 @@ Subcommands::
     submit <task> [--payload JSON] [-j N] [...]   run one job through the pool
     status                                        cache footprint + last run
     cache ls                                      list cached entries
+    cache --json                                  machine-readable stats
     cache clear                                   drop every cached entry
 
 ``submit`` is the low-level door — it runs any importable task, e.g.::
@@ -56,7 +57,11 @@ def _build_parser() -> argparse.ArgumentParser:
     status.add_argument("--cache-dir", default=None, metavar="DIR")
 
     cache = sub.add_parser("cache", help="inspect or clear the cache")
-    cache.add_argument("action", choices=["ls", "clear"])
+    cache.add_argument("action", nargs="?", choices=["ls", "clear"],
+                       default="ls")
+    cache.add_argument("--json", action="store_true",
+                       help="emit machine-readable stats (entries, bytes, "
+                            "hit/miss counters) instead of a listing")
     cache.add_argument("--cache-dir", default=None, metavar="DIR")
     return parser
 
@@ -120,6 +125,11 @@ def _cmd_status(args) -> int:
 
 def _cmd_cache(args) -> int:
     cache = _cache_for(args)
+    if args.json:
+        from repro.jobs.cache import stats_document
+
+        print(json.dumps(stats_document(cache), indent=2, sort_keys=True))
+        return 0
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached results from {cache.root}")

@@ -136,3 +136,24 @@ class ResultCache:
 
     def __len__(self) -> int:
         return self.stats()["entries"]
+
+
+def stats_document(cache: ResultCache) -> dict:
+    """Machine-readable cache stats: footprint plus hit/miss counters.
+
+    The counters come from the ``last_run.state`` file the pool writes
+    beside the cache (lifetime totals of the most recent
+    :class:`~repro.jobs.pool.JobRunner`); a cache nobody has run
+    against reports zeros. This is the document behind both
+    ``python -m repro.jobs cache --json`` and the serving layer's
+    ``/stats`` endpoint.
+    """
+    document = cache.stats()
+    state: dict = {}
+    try:
+        state = json.loads((cache.root / "last_run.state").read_text())
+    except (OSError, json.JSONDecodeError):
+        pass
+    document["hits"] = int(state.get("cache_hits", 0))
+    document["misses"] = int(state.get("cache_misses", 0))
+    return document

@@ -30,6 +30,8 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_module
+import signal as signal_module
+import threading
 import time
 import traceback
 from collections import deque
@@ -49,6 +51,9 @@ FORCE_INLINE_ENV = "REPRO_JOBS_FORCE_INLINE"
 
 #: How often the manager polls for results / deadlines / dead workers.
 _POLL_SECONDS = 0.02
+
+#: Error string of a job cancelled by a graceful shutdown.
+CANCELLED = "cancelled: runner stopping (graceful shutdown)"
 
 
 @dataclass
@@ -146,6 +151,7 @@ def _new_stats() -> dict:
         "respawns": 0,
         "timeouts": 0,
         "degraded": 0,
+        "cancelled": 0,
     }
 
 
@@ -184,6 +190,42 @@ class JobRunner:
         self.start_method = start_method
         #: Lifetime counters, accumulated across every ``run`` call.
         self.stats = _new_stats()
+        self._stop_event = threading.Event()
+        self._stop_force = False
+
+    # ------------------------------------------------------------------
+    # Graceful shutdown
+    # ------------------------------------------------------------------
+    @property
+    def stopping(self) -> bool:
+        """True once :meth:`request_stop` has been called."""
+        return self._stop_event.is_set()
+
+    def request_stop(self, force: bool = False) -> None:
+        """Ask a running batch to wind down (thread- and signal-safe).
+
+        Graceful (default): nothing new is dispatched, jobs already on a
+        worker run to completion, then the workers are joined and every
+        undispatched job resolves with a :data:`CANCELLED` error. With
+        ``force=True`` the in-flight jobs are killed too — the recourse
+        when a drain deadline has passed. Once stopped, later ``run``
+        calls cancel their whole batch immediately.
+        """
+        if force:
+            self._stop_force = True
+        self._stop_event.set()
+
+    def _cancel(self, results, state: "_JobState") -> None:
+        self.stats["cancelled"] += 1
+        self.metrics.counter("jobs.cancelled").inc()
+        self._finish_error(results, state, CANCELLED)
+
+    def _kill_worker(self, worker: "_Worker") -> None:
+        worker.process.terminate()
+        worker.process.join(1.0)
+        if worker.process.is_alive():
+            worker.process.kill()
+            worker.process.join(1.0)
 
     # ------------------------------------------------------------------
     def _emit(self, kind: str, index: int, spec: JobSpec | None = None,
@@ -281,6 +323,9 @@ class JobRunner:
     def _run_inline(self, specs, indices, results) -> None:
         """Sequential in-process execution (no isolation, no timeout)."""
         for index in indices:
+            if self._stop_event.is_set():
+                self._cancel(results, _JobState(index, specs[index]))
+                continue
             state = _JobState(index, specs[index], attempts=1)
             self._emit("start", index, state.spec, 1)
             try:
@@ -304,6 +349,10 @@ class JobRunner:
         return _Worker(process=process, task_queue=task_queue)
 
     def _run_pool(self, specs, indices, results) -> None:
+        if self._stop_event.is_set():
+            for index in indices:
+                self._cancel(results, _JobState(index, specs[index]))
+            return
         ctx = multiprocessing.get_context(self.start_method)
         n = min(self.n_workers, len(indices))
         result_queue = ctx.Queue()
@@ -354,6 +403,19 @@ class JobRunner:
                    results, respawn_budget) -> None:
         respawns = 0
         while any(not state.finished for state in jobs.values()):
+            if self._stop_event.is_set():
+                if self._stop_force:
+                    for worker in workers:
+                        if worker.busy is not None:
+                            self._kill_worker(worker)
+                            worker.busy = None
+                if all(worker.busy is None for worker in workers):
+                    # Drained (or force-killed): everything not yet
+                    # delivered resolves as cancelled.
+                    for state in jobs.values():
+                        if not state.finished:
+                            self._cancel(results, state)
+                    return
             now = time.monotonic()
             # Promote jobs whose backoff has elapsed.
             still = []
@@ -364,8 +426,10 @@ class JobRunner:
                     still.append(index)
             waiting[:] = still
 
-            # Dispatch to idle live workers.
+            # Dispatch to idle live workers (never while draining).
             for worker in workers:
+                if self._stop_event.is_set():
+                    break
                 if worker.busy is not None or not worker.process.is_alive():
                     continue
                 index = None
@@ -460,7 +524,7 @@ class JobRunner:
                             )
                         workers[position] = self._spawn_worker(
                             ctx, result_queue)
-                elif not alive:
+                elif not alive and not self._stop_event.is_set():
                     # An idle worker died: replace it quietly.
                     respawns += 1
                     self.stats["respawns"] += 1
@@ -500,3 +564,35 @@ class JobRunner:
             path.write_text(json.dumps(self.stats, indent=2, sort_keys=True))
         except OSError:
             pass
+
+
+def install_signal_handlers(
+    runner: JobRunner,
+    signals: tuple[int, ...] = (signal_module.SIGINT, signal_module.SIGTERM),
+) -> Callable[[], None]:
+    """Wire SIGINT/SIGTERM to a graceful drain of *runner*.
+
+    The first signal calls :meth:`JobRunner.request_stop` — in-flight
+    jobs finish, workers are joined, nothing is orphaned. A second
+    signal escalates to ``force=True``, killing the in-flight jobs too.
+    Returns a zero-argument function that restores the previous
+    handlers. Only callable from the main thread (a CPython
+    ``signal.signal`` constraint); asyncio servers should use
+    ``loop.add_signal_handler`` with the same ``request_stop`` calls
+    instead.
+    """
+    previous: dict[int, object] = {}
+    hits = {"count": 0}
+
+    def _handler(signum, frame):
+        hits["count"] += 1
+        runner.request_stop(force=hits["count"] > 1)
+
+    for signum in signals:
+        previous[signum] = signal_module.signal(signum, _handler)
+
+    def restore() -> None:
+        for signum, handler in previous.items():
+            signal_module.signal(signum, handler)
+
+    return restore

@@ -1,0 +1,38 @@
+"""Simulation-as-a-service: the multi-tenant front door to the pool.
+
+The paper's cellular-computing pitch only pays off when many
+experiments can be driven against the simulated chip cheaply; this
+package is the serving layer that makes the PR 3 job pool and
+content-addressed result cache answer network clients at scale:
+
+* :mod:`repro.serve.protocol` — the wire contract: JobSpec/sweep
+  request documents, server-side sweep sharding, NDJSON event frames;
+* :mod:`repro.serve.server` — :class:`SimServer`, the asyncio server:
+  warm-cache short-circuit, cross-client batching into pool
+  submissions, bounded-queue + per-client admission control with
+  ``Retry-After`` load shedding, telemetry, graceful drain;
+* :mod:`repro.serve.client` — :class:`ServeClient`, a thin blocking
+  stdlib client with polite retry;
+* ``python -m repro.serve`` — the server CLI.
+
+Consumers: ``python -m repro.experiments run all --serve URL`` executes
+experiments remotely, and ``benchmarks/bench_serve.py`` is the
+synthetic load-test harness that measures throughput, cache hit rate,
+and p99 latency under growing client concurrency. See
+``docs/serving.md``.
+"""
+
+from repro.errors import ServeError
+from repro.serve.client import Rejected, ServeClient
+from repro.serve.protocol import shard_request
+from repro.serve.server import ServeConfig, SimServer, serve_in_thread
+
+__all__ = [
+    "Rejected",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "SimServer",
+    "serve_in_thread",
+    "shard_request",
+]

@@ -1,0 +1,116 @@
+"""Command-line entry point: ``python -m repro.serve``.
+
+Starts the simulation server and runs until SIGINT/SIGTERM::
+
+    python -m repro.serve --port 8642 -j 4 --queue-limit 256
+
+The first signal drains gracefully — the listener closes, admitted
+jobs finish, worker processes are joined; a second signal force-kills
+the in-flight jobs. Clients talk to it through
+:class:`repro.serve.client.ServeClient`,
+``python -m repro.experiments run all --serve URL``, or raw HTTP (see
+``docs/serving.md`` for the protocol).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+
+from repro.serve.server import ServeConfig, SimServer
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve simulation requests over HTTP with batching, "
+                    "result caching, and admission control.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="listen port (0 = ephemeral; default 8642)")
+    parser.add_argument("-j", "--workers", type=int, default=2, metavar="N",
+                        help="pool workers for cold jobs (1 = inline)")
+    parser.add_argument("--queue-limit", type=int, default=256, metavar="N",
+                        help="max admitted-but-unfinished cold jobs before "
+                             "load shedding (default 256)")
+    parser.add_argument("--per-client", type=int, default=16, metavar="N",
+                        help="max open requests per client id (default 16)")
+    parser.add_argument("--batch-window", type=float, default=0.01,
+                        metavar="S", help="seconds the dispatcher waits to "
+                                          "batch concurrent requests")
+    parser.add_argument("--batch-max", type=int, default=32, metavar="N",
+                        help="max jobs per pool submission")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        metavar="S", help="per-job timeout (workers only)")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="attempts after a job failure (default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache (every job cold)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache location (default $REPRO_JOBS_CACHE_DIR "
+                             "or .repro-cache/jobs)")
+    parser.add_argument("--drain-timeout", type=float, default=10.0,
+                        metavar="S", help="graceful-drain budget on "
+                                          "shutdown (default 10)")
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ServeConfig:
+    return ServeConfig(
+        host=args.host,
+        port=args.port,
+        n_workers=args.workers,
+        queue_limit=args.queue_limit,
+        per_client=args.per_client,
+        batch_window=args.batch_window,
+        batch_max=args.batch_max,
+        job_timeout=args.job_timeout,
+        retries=args.retries,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        drain_timeout=args.drain_timeout,
+    )
+
+
+async def _serve(config: ServeConfig) -> None:
+    server = SimServer(config)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    signals = {"count": 0}
+
+    def _on_signal() -> None:
+        signals["count"] += 1
+        if signals["count"] == 1:
+            stop.set()
+        else:
+            server.runner.request_stop(force=True)
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, _on_signal)
+    print(f"repro.serve listening on http://{server.host}:{server.port} "
+          f"({config.n_workers} workers, queue limit "
+          f"{config.queue_limit}; Ctrl-C drains)", file=sys.stderr)
+    await stop.wait()
+    print("repro.serve draining...", file=sys.stderr)
+    await server.stop()
+    print("repro.serve stopped cleanly", file=sys.stderr)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.workers < 1 or args.queue_limit < 1 or args.per_client < 1 \
+            or args.batch_max < 1:
+        print("error: --workers/--queue-limit/--per-client/--batch-max "
+              "must all be >= 1", file=sys.stderr)
+        return 2
+    asyncio.run(_serve(config_from_args(args)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

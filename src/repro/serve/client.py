@@ -1,0 +1,212 @@
+"""Thin blocking client for a :mod:`repro.serve` server.
+
+Stdlib sockets only — one connection per request, ``Connection:
+close`` framing, NDJSON event streams parsed line by line — so any
+process that can import :mod:`repro` can drive a remote simulation
+server, and anything else (``curl``, a notebook) can speak the same
+protocol by hand::
+
+    curl -s http://127.0.0.1:8642/stats
+    curl -s -XPOST http://127.0.0.1:8642/submit -d '{"spec": {...}}'
+
+The client surfaces admission control as :class:`Rejected` (a
+:class:`~repro.errors.ServeError` carrying the server's ``Retry-After``
+hint); :meth:`ServeClient.submit_with_retry` turns that into bounded
+polite backoff, which is what the experiments runner's ``--serve`` path
+and the load-test harness use.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+import urllib.parse
+from typing import Any, Callable
+
+from repro.errors import ServeError
+from repro.jobs.spec import JobSpec
+from repro.serve.protocol import decode_event
+
+
+class Rejected(ServeError):
+    """The server load-shed or refused the request (429/503)."""
+
+    def __init__(self, message: str, status: int,
+                 retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """Blocking client bound to one server URL.
+
+    ``client_id`` feeds the server's per-client admission cap; every
+    request from one logical tenant should share one id (defaults to
+    ``user@host`` of the calling process).
+    """
+
+    def __init__(self, url: str = "http://127.0.0.1:8642",
+                 client_id: str | None = None, timeout: float = 300.0) -> None:
+        parsed = urllib.parse.urlsplit(url if "//" in url else f"//{url}",
+                                       scheme="http")
+        if parsed.scheme != "http":
+            raise ServeError(f"only http:// URLs are supported, got {url!r}")
+        if not parsed.hostname:
+            raise ServeError(f"URL {url!r} has no host")
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.timeout = timeout
+        if client_id is None:
+            import getpass
+
+            client_id = f"{getpass.getuser()}@{socket.gethostname()}"
+        self.client_id = client_id
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, body: bytes | None = None):
+        """Open one connection; returns ``(status, headers, reader)``."""
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout)
+        try:
+            head = [f"{method} {path} HTTP/1.1",
+                    f"Host: {self.host}:{self.port}",
+                    f"X-Client-Id: {self.client_id}",
+                    "Connection: close"]
+            if body is not None:
+                head.append("Content-Type: application/json")
+                head.append(f"Content-Length: {len(body)}")
+            sock.sendall(("\r\n".join(head) + "\r\n\r\n").encode()
+                         + (body or b""))
+            reader = sock.makefile("rb")
+        except BaseException:
+            sock.close()
+            raise
+        sock.close()  # the makefile keeps the underlying fd alive
+        try:
+            status_line = reader.readline().decode("latin-1")
+            parts = status_line.split(None, 2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise ServeError(f"malformed status line {status_line!r}")
+            status = int(parts[1])
+            headers: dict[str, str] = {}
+            while True:
+                line = reader.readline().decode("latin-1").strip()
+                if not line:
+                    break
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+            return status, headers, reader
+        except BaseException:
+            reader.close()
+            raise
+
+    def _json_body(self, headers: dict, reader) -> Any:
+        length = headers.get("content-length")
+        raw = reader.read(int(length)) if length else reader.read()
+        try:
+            return json.loads(raw) if raw else None
+        except json.JSONDecodeError:
+            return None
+
+    def _raise_for_status(self, status: int, headers: dict, reader) -> None:
+        document = self._json_body(headers, reader) or {}
+        message = document.get("error") if isinstance(document, dict) \
+            else None
+        message = message or f"server returned {status}"
+        if status in (429, 503):
+            retry_after = document.get("retry_after") \
+                if isinstance(document, dict) else None
+            if retry_after is None and headers.get("retry-after"):
+                try:
+                    retry_after = float(headers["retry-after"])
+                except ValueError:
+                    retry_after = None
+            raise Rejected(message, status, retry_after)
+        raise ServeError(f"{message} (status {status})")
+
+    # ------------------------------------------------------------------
+    def submit(self, document: dict,
+               on_event: Callable[[dict], None] | None = None) -> list[dict]:
+        """Submit one request document; block until its stream completes.
+
+        Returns the ``result`` events in request-index order (one per
+        job — a plain ``{"spec": ...}`` yields exactly one). Progress
+        and summary events flow through *on_event* as they arrive.
+        Raises :class:`Rejected` on load shedding, :class:`ServeError`
+        on anything else that is not a clean complete stream.
+        """
+        body = json.dumps(document, sort_keys=True).encode()
+        status, headers, reader = self._request("POST", "/submit", body)
+        with reader:
+            if status != 200:
+                self._raise_for_status(status, headers, reader)
+            results: list[dict] = []
+            complete = False
+            for line in reader:
+                if not line.strip():
+                    continue
+                doc = decode_event(line)
+                if on_event is not None:
+                    on_event(doc)
+                if doc["event"] == "result":
+                    results.append(doc)
+                elif doc["event"] == "complete":
+                    complete = True
+            if not complete:
+                raise ServeError(
+                    "event stream ended without a 'complete' event "
+                    "(server died or connection dropped)")
+        results.sort(key=lambda doc: doc.get("index", 0))
+        return results
+
+    def submit_spec(self, spec: JobSpec | dict,
+                    on_event: Callable[[dict], None] | None = None) -> dict:
+        """Submit a single spec; returns its one result document."""
+        if isinstance(spec, JobSpec):
+            spec = spec.to_dict()
+        return self.submit({"spec": spec}, on_event=on_event)[0]
+
+    def submit_with_retry(self, document: dict, attempts: int = 8,
+                          max_sleep: float = 5.0,
+                          on_event: Callable[[dict], None] | None = None,
+                          on_reject: Callable[[Rejected], None] | None = None,
+                          ) -> list[dict]:
+        """Like :meth:`submit`, but back off politely when load-shed.
+
+        Sleeps the server's ``Retry-After`` hint (clamped to
+        *max_sleep*) between attempts; the final rejection propagates.
+        *on_reject* observes each rejection (the load harness counts
+        them there).
+        """
+        backoff = 0.05
+        for attempt in range(attempts):
+            try:
+                return self.submit(document, on_event=on_event)
+            except Rejected as rejection:
+                if on_reject is not None:
+                    on_reject(rejection)
+                if attempt == attempts - 1:
+                    raise
+                hint = rejection.retry_after
+                sleep = hint if hint is not None else backoff * 2 ** attempt
+                time.sleep(max(0.0, min(float(sleep), max_sleep)))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """``GET /stats`` as a dictionary."""
+        status, headers, reader = self._request("GET", "/stats")
+        with reader:
+            if status != 200:
+                self._raise_for_status(status, headers, reader)
+            return self._json_body(headers, reader)
+
+    def health(self) -> dict:
+        """``GET /healthz`` as a dictionary."""
+        status, headers, reader = self._request("GET", "/healthz")
+        with reader:
+            if status != 200:
+                self._raise_for_status(status, headers, reader)
+            return self._json_body(headers, reader)

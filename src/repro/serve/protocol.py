@@ -1,0 +1,143 @@
+"""Wire protocol of :mod:`repro.serve`: request documents, event frames.
+
+A submission is one JSON document ``POST``-ed to ``/submit``, in one of
+two shapes::
+
+    {"spec": { ...JobSpec.to_dict()... }}
+
+    {"sweep": {"task": "module:function",
+               "payload": { shared parameters },
+               "grid": {"param": [v1, v2, ...], ...},
+               "config": { optional chip config },
+               "seed": 0}}
+
+A ``sweep`` is sharded server-side into one
+:class:`~repro.jobs.spec.JobSpec` per cell of the cartesian product of
+its ``grid`` lists (grid keys in sorted order, values in listed order,
+merged over ``payload``), so a whole saturation curve is one request.
+
+The response is a newline-delimited JSON **event stream**
+(``application/x-ndjson``): every line is one object with an ``event``
+key. The stream a client sees is::
+
+    accepted                      request admitted; job count breakdown
+    hit | start/done/error/...    per-job progress, in wall-clock order
+    result (one per job)          value or error, in request-index order
+    complete                      summary; always the last line
+
+Rejections (admission control) and malformed requests never start a
+stream — they are plain JSON bodies under a ``429``/``400``/``503``
+status, with a ``Retry-After`` header when retrying can help.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from typing import Any
+
+from repro.errors import ServeError
+from repro.jobs.pool import JobResult
+from repro.jobs.spec import JobSpec
+
+#: Upper bound on JobSpecs one sweep request may shard into. A grid
+#: beyond this is a client error (400), not an admission problem — it
+#: would be materialized in server memory before admission could act.
+MAX_SHARDS = 4096
+
+#: Upper bound on the request body (a spec is small; sweeps are grids).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def shard_request(document: Any) -> list[JobSpec]:
+    """Expand one submission document into its ordered list of specs.
+
+    Raises :class:`~repro.errors.ServeError` (server: status 400) on a
+    malformed document. Sharding is deterministic, so a sweep's
+    request-local indices are stable across submissions — which is what
+    makes its per-cell cache fingerprints line up run to run.
+    """
+    if not isinstance(document, dict):
+        raise ServeError("request body must be a JSON object")
+    if ("spec" in document) == ("sweep" in document):
+        raise ServeError("request needs exactly one of 'spec' or 'sweep'")
+    if "spec" in document:
+        if not isinstance(document["spec"], dict):
+            raise ServeError("'spec' must be a JobSpec object")
+        try:
+            return [JobSpec.from_dict(document["spec"])]
+        except Exception as error:
+            raise ServeError(f"malformed spec: {error}")
+
+    sweep = document["sweep"]
+    if not isinstance(sweep, dict):
+        raise ServeError("'sweep' must be an object")
+    task = sweep.get("task")
+    if not isinstance(task, str) or ":" not in task:
+        raise ServeError("sweep.task must be a 'module:function' string")
+    payload = sweep.get("payload") or {}
+    if not isinstance(payload, dict):
+        raise ServeError("sweep.payload must be an object")
+    grid = sweep.get("grid") or {}
+    if not isinstance(grid, dict) or not all(
+            isinstance(values, list) and values for values in grid.values()):
+        raise ServeError("sweep.grid must map parameters to non-empty lists")
+    count = 1
+    for values in grid.values():
+        count *= len(values)
+        if count > MAX_SHARDS:
+            raise ServeError(
+                f"sweep shards into more than {MAX_SHARDS} jobs; "
+                "split the grid across requests"
+            )
+    keys = sorted(grid)
+    try:
+        seed = int(sweep.get("seed", 0))
+    except (TypeError, ValueError):
+        raise ServeError("sweep.seed must be an integer")
+    specs = []
+    for combo in itertools.product(*(grid[key] for key in keys)):
+        cell = dict(payload)
+        cell.update(zip(keys, combo))
+        specs.append(JobSpec(task=task, payload=cell,
+                             config=sweep.get("config"), seed=seed))
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# Event framing
+# ---------------------------------------------------------------------------
+def event(kind: str, **fields: Any) -> dict:
+    """One event-stream line as a dictionary."""
+    doc = {"event": kind}
+    doc.update(fields)
+    return doc
+
+
+def encode_event(document: dict) -> bytes:
+    """One NDJSON frame: compact JSON plus the terminating newline."""
+    return json.dumps(document, sort_keys=True,
+                      separators=(",", ":")).encode() + b"\n"
+
+
+def decode_event(line: bytes | str) -> dict:
+    """Parse one NDJSON frame; raises :class:`ServeError` on garbage."""
+    try:
+        document = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ServeError(f"undecodable event frame: {error}")
+    if not isinstance(document, dict) or "event" not in document:
+        raise ServeError(f"event frame without an 'event' key: {document!r}")
+    return document
+
+
+def result_document(index: int, result: JobResult) -> dict:
+    """The ``result`` event for one finished (or cancelled) job."""
+    doc = event("result", index=index, ok=result.ok, cached=result.cached,
+                attempts=result.attempts,
+                elapsed_seconds=round(result.elapsed, 6))
+    if result.ok:
+        doc["value"] = result.value
+    else:
+        doc["error"] = result.error
+    return doc

@@ -1,0 +1,532 @@
+"""The simulation server: asyncio front door over the job pool.
+
+One :class:`SimServer` owns one :class:`~repro.jobs.pool.JobRunner`
+(and its worker pool) plus one content-addressed
+:class:`~repro.jobs.cache.ResultCache`, and multiplexes any number of
+concurrent clients onto them:
+
+* **Warm path** — every incoming spec is probed against the cache in
+  the request handler itself; hits are answered straight from disk and
+  never touch the queue, the pool, or admission accounting. Under a
+  zipf-popular workload this is most of the traffic, which is what
+  makes one small pool serve many clients.
+* **Batching** — cold jobs from all clients land on one queue; a
+  dispatcher coroutine drains it into pool submissions of up to
+  ``batch_max`` jobs, waiting at most ``batch_window`` seconds after
+  the first job so concurrent requests share a batch instead of
+  serializing behind each other.
+* **Admission control** — the queue is bounded (``queue_limit`` cold
+  jobs admitted-but-unfinished) and each client has a concurrency cap
+  (``per_client`` open requests). Requests beyond either bound are
+  rejected *before* any state is allocated for them — a ``429`` JSON
+  body with a ``Retry-After`` estimate — so offered load 10x beyond
+  pool capacity costs rejected clients a round trip, not the server
+  its memory.
+* **Telemetry** — request counts, queue depth, cache hit rate, and
+  request-latency histograms (p50/p99 via the registry's exact
+  percentiles) flow into a :class:`~repro.telemetry.metrics
+  .MetricsRegistry`; ``GET /stats`` snapshots all of it.
+
+Shutdown is graceful by construction: the listener closes first, the
+dispatcher drains admitted work through the runner, and
+:meth:`JobRunner.request_stop` (wired to SIGINT/SIGTERM by the CLI)
+bounds the drain — no orphaned worker processes either way.
+
+The HTTP layer is deliberately minimal — stdlib asyncio streams, three
+routes (``POST /submit``, ``GET /stats``, ``GET /healthz``),
+``Connection: close`` framing — because the interesting contract is the
+event stream, documented in :mod:`repro.serve.protocol`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.errors import ServeError
+from repro.jobs.cache import ResultCache, stats_document
+from repro.jobs.pool import JobEvent, JobResult, JobRunner
+from repro.jobs.spec import JobSpec
+from repro.serve.protocol import (
+    MAX_BODY_BYTES,
+    encode_event,
+    event,
+    result_document,
+    shard_request,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+#: Fallback per-job seconds estimate before any job has finished,
+#: used only to size Retry-After hints.
+_DEFAULT_JOB_SECONDS = 0.5
+
+
+@dataclass
+class ServeConfig:
+    """Everything `python -m repro.serve` exposes as flags."""
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    #: Pool workers backing cold jobs (1 = inline execution).
+    n_workers: int = 2
+    #: Max cold jobs admitted but not yet finished; beyond it, 429.
+    queue_limit: int = 256
+    #: Max open requests per client id; beyond it, 429.
+    per_client: int = 16
+    #: How long the dispatcher waits after the first queued job for
+    #: more, so concurrent requests share one pool submission.
+    batch_window: float = 0.01
+    #: Max jobs per pool submission.
+    batch_max: int = 32
+    job_timeout: float | None = None
+    retries: int = 1
+    use_cache: bool = True
+    cache_dir: str | None = None
+    #: Seconds `stop()` waits for a graceful drain before force-killing
+    #: in-flight jobs.
+    drain_timeout: float = 10.0
+
+
+@dataclass
+class _Entry:
+    """One cold job queued for the dispatcher, owned by one request."""
+
+    spec: JobSpec
+    request_index: int
+    events: asyncio.Queue
+    future: asyncio.Future
+
+
+class SimServer:
+    """Long-lived simulation-as-a-service front end (see module doc)."""
+
+    def __init__(self, config: ServeConfig | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache: ResultCache | None = None
+        if self.config.use_cache:
+            self.cache = ResultCache(self.config.cache_dir) \
+                if self.config.cache_dir else ResultCache.default()
+        self.runner = JobRunner(
+            n_workers=self.config.n_workers,
+            cache=self.cache,
+            timeout=self.config.job_timeout,
+            retries=self.config.retries,
+            metrics=self.metrics,
+            on_event=self._on_job_event,
+        )
+        self.host = self.config.host
+        self.port = self.config.port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._dispatcher: asyncio.Task | None = None
+        #: Batches run one at a time on this thread, so `_routing` needs
+        #: no lock: it is written on the loop thread strictly before the
+        #: batch starts and read from this worker thread while it runs.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-batch")
+        self._queue: asyncio.Queue[_Entry | None] | None = None
+        self._routing: list[_Entry] | None = None
+        self._queued_jobs = 0
+        self._active_clients: dict[str, int] = {}
+        self._active_requests = 0
+        self._next_request = 0
+        self._closing = False
+        self._started_mono = 0.0
+        self._avg_job_seconds = _DEFAULT_JOB_SECONDS
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and start the dispatcher."""
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        self._started_mono = time.monotonic()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: close the door, drain, join everything.
+
+        New submissions are refused (503) immediately; admitted work
+        drains through the runner for up to ``drain_timeout`` seconds,
+        after which in-flight jobs are force-cancelled. Either way no
+        worker process outlives this call.
+        """
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._queue is not None:
+            await self._queue.put(None)
+        if self._dispatcher is not None:
+            try:
+                await asyncio.wait_for(asyncio.shield(self._dispatcher),
+                                       self.config.drain_timeout)
+            except asyncio.TimeoutError:
+                self.runner.request_stop(force=True)
+                await self._dispatcher
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Dispatcher: queue -> batched pool submissions
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        assert self._queue is not None and self._loop is not None
+        while True:
+            head = await self._queue.get()
+            if head is None:
+                return
+            batch = [head]
+            deadline = self._loop.time() + self.config.batch_window
+            draining = False
+            while len(batch) < self.config.batch_max:
+                remaining = deadline - self._loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    entry = await asyncio.wait_for(self._queue.get(),
+                                                   remaining)
+                except asyncio.TimeoutError:
+                    break
+                if entry is None:
+                    draining = True
+                    break
+                batch.append(entry)
+            await self._run_batch(batch)
+            if draining:
+                return
+
+    async def _run_batch(self, batch: list[_Entry]) -> None:
+        assert self._loop is not None
+        self.metrics.histogram("serve.batch_size").observe(len(batch))
+        self._routing = batch
+        specs = [entry.spec for entry in batch]
+        failure: str | None = None
+        try:
+            results = await self._loop.run_in_executor(
+                self._executor, self.runner.run, specs)
+        except Exception as error:  # runner bug: fail the batch, not us
+            results, failure = None, f"batch execution failed: {error!r}"
+        finally:
+            self._routing = None
+        for position, entry in enumerate(batch):
+            self._queued_jobs -= 1
+            result = results[position] if results is not None \
+                else JobResult(entry.spec, error=failure)
+            if result.ok and result.elapsed > 0:
+                self._avg_job_seconds = (0.8 * self._avg_job_seconds
+                                         + 0.2 * result.elapsed)
+            if not entry.future.done():
+                entry.future.set_result(result)
+        self.metrics.gauge("serve.queue_depth").set(self._queued_jobs)
+
+    def _on_job_event(self, job_event: JobEvent) -> None:
+        """Forward pool progress to the owning request (worker thread)."""
+        routing = self._routing
+        if routing is None or self._loop is None:
+            return
+        if not 0 <= job_event.index < len(routing):
+            return  # batch-level events (degrade) have index -1
+        if job_event.kind in ("submitted", "hit"):
+            return  # 'accepted' / the handler's own hit events cover these
+        entry = routing[job_event.index]
+        doc = event(job_event.kind, index=entry.request_index,
+                    attempt=job_event.attempt)
+        if job_event.detail:
+            doc["detail"] = job_event.detail.strip().splitlines()[-1]
+        self._loop.call_soon_threadsafe(entry.events.put_nowait, doc)
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, headers, body = await self._read_request(reader)
+            except ServeError as error:
+                await self._respond(writer, 400, {"error": str(error)})
+                return
+            if method == "POST" and path == "/submit":
+                await self._handle_submit(writer, headers, body)
+            elif method == "GET" and path == "/stats":
+                await self._respond(writer, 200, self.stats())
+            elif method == "GET" and path == "/healthz":
+                await self._respond(writer, 200,
+                                    {"ok": True, "closing": self._closing})
+            elif path in ("/submit", "/stats", "/healthz"):
+                await self._respond(writer, 405,
+                                    {"error": f"{method} not allowed"})
+            else:
+                await self._respond(writer, 404,
+                                    {"error": f"no route {path}"})
+        except (ConnectionError, asyncio.IncompleteReadError, TimeoutError):
+            pass  # client went away mid-exchange; the dispatcher owns state
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _read_request(self, reader) -> tuple[str, str, dict, bytes]:
+        try:
+            line = await asyncio.wait_for(reader.readline(), 30.0)
+            parts = line.decode("latin-1").split()
+            if len(parts) != 3:
+                raise ServeError(f"malformed request line {line!r}")
+            method, target = parts[0].upper(), parts[1]
+            headers: dict[str, str] = {}
+            for _ in range(100):
+                raw = await asyncio.wait_for(reader.readline(), 30.0)
+                text = raw.decode("latin-1").strip()
+                if not text:
+                    break
+                name, _, value = text.partition(":")
+                headers[name.strip().lower()] = value.strip()
+            else:
+                raise ServeError("too many headers")
+            length = int(headers.get("content-length", "0") or 0)
+            if length > MAX_BODY_BYTES:
+                raise ServeError(f"body of {length} bytes exceeds the "
+                                 f"{MAX_BODY_BYTES} byte limit")
+            body = await reader.readexactly(length) if length else b""
+            return method, target.split("?", 1)[0], headers, body
+        except (ValueError, asyncio.IncompleteReadError,
+                asyncio.TimeoutError) as error:
+            raise ServeError(f"unreadable request: {error}")
+
+    async def _respond(self, writer, status: int, document: dict,
+                       extra_headers: dict[str, str] | None = None) -> None:
+        body = json.dumps(document, sort_keys=True).encode() + b"\n"
+        head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(body)}",
+                "Connection: close"]
+        for name, value in (extra_headers or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+
+    async def _begin_stream(self, writer) -> None:
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Cache-Control: no-store\r\n"
+                     b"Connection: close\r\n\r\n")
+        await writer.drain()
+
+    async def _write_event(self, writer, document: dict) -> None:
+        writer.write(encode_event(document))
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # /submit
+    # ------------------------------------------------------------------
+    def _retry_after(self, cold_jobs: int) -> int:
+        """Seconds until the queue has plausibly drained enough."""
+        backlog = self._queued_jobs + cold_jobs
+        seconds = backlog * self._avg_job_seconds \
+            / max(1, self.config.n_workers)
+        return max(1, min(60, round(seconds)))
+
+    async def _reject(self, writer, status: int, message: str,
+                      retry_after: int | None) -> None:
+        self.metrics.counter("serve.requests", status="rejected").inc()
+        document: dict = {"error": message}
+        headers = {}
+        if retry_after is not None:
+            document["retry_after"] = retry_after
+            headers["Retry-After"] = str(retry_after)
+        await self._respond(writer, status, document, headers)
+
+    async def _handle_submit(self, writer, headers: dict,
+                             body: bytes) -> None:
+        assert self._loop is not None and self._queue is not None
+        started = time.perf_counter()
+        if self._closing:
+            await self._reject(writer, 503, "server is shutting down", None)
+            return
+        try:
+            specs = shard_request(json.loads(body.decode() or "null"))
+        except (ServeError, UnicodeDecodeError,
+                json.JSONDecodeError) as error:
+            self.metrics.counter("serve.requests", status="bad_request").inc()
+            await self._respond(writer, 400, {"error": str(error)})
+            return
+
+        client = headers.get("x-client-id") or "anonymous"
+        # Warm probe first: cache hits bypass queue and admission
+        # entirely, so a hot catalog cannot be load-shed.
+        warm: list[tuple[int, JobResult]] = []
+        cold: list[tuple[int, JobSpec]] = []
+        hit_counter = self.metrics.counter("serve.jobs", outcome="hit")
+        miss_counter = self.metrics.counter("serve.jobs", outcome="miss")
+        for index, spec in enumerate(specs):
+            entry = self.cache.get(spec) if self.cache is not None else None
+            if entry is not None:
+                meta = entry.get("meta", {})
+                warm.append((index, JobResult(
+                    spec, value=entry.get("result"), cached=True,
+                    elapsed=float(meta.get("elapsed_seconds", 0.0)))))
+                hit_counter.inc()
+            else:
+                cold.append((index, spec))
+                miss_counter.inc()
+
+        if self._active_clients.get(client, 0) >= self.config.per_client:
+            await self._reject(
+                writer, 429,
+                f"client {client!r} already has "
+                f"{self.config.per_client} open requests",
+                self._retry_after(0))
+            return
+        if cold and self._queued_jobs + len(cold) > self.config.queue_limit:
+            await self._reject(
+                writer, 429,
+                f"job queue full ({self._queued_jobs} queued, "
+                f"limit {self.config.queue_limit})",
+                self._retry_after(len(cold)))
+            return
+
+        # Admitted: account, enqueue, stream.
+        self._next_request += 1
+        request_id = f"r{self._next_request}"
+        self._active_clients[client] = self._active_clients.get(client, 0) + 1
+        self._active_requests += 1
+        self._queued_jobs += len(cold)
+        self.metrics.gauge("serve.queue_depth").set(self._queued_jobs)
+        events: asyncio.Queue[dict] = asyncio.Queue()
+        pending: dict[int, asyncio.Future] = {}
+        gather: asyncio.Future | None = None
+        try:
+            await self._begin_stream(writer)
+            await self._write_event(writer, event(
+                "accepted", request_id=request_id, jobs=len(specs),
+                warm=len(warm), cold=len(cold)))
+            for index, result in warm:
+                await self._write_event(writer, event("hit", index=index))
+                await self._write_event(writer,
+                                        result_document(index, result))
+            for index, spec in cold:
+                future = self._loop.create_future()
+                pending[index] = future
+                await self._queue.put(
+                    _Entry(spec, index, events, future))
+            if pending:
+                gather = asyncio.gather(*pending.values())
+                while not (gather.done() and events.empty()):
+                    try:
+                        doc = await asyncio.wait_for(events.get(), 0.05)
+                    except asyncio.TimeoutError:
+                        continue
+                    await self._write_event(writer, doc)
+                for index in sorted(pending):
+                    await self._write_event(
+                        writer, result_document(index,
+                                                pending[index].result()))
+            outcomes = [result for _, result in warm] \
+                + [pending[index].result() for index in sorted(pending)]
+            failed = sum(1 for result in outcomes if not result.ok)
+            elapsed = time.perf_counter() - started
+            await self._write_event(writer, event(
+                "complete", request_id=request_id,
+                ok=len(outcomes) - failed, failed=failed,
+                elapsed_seconds=round(elapsed, 6)))
+            self.metrics.counter(
+                "serve.requests",
+                status="ok" if failed == 0 else "failed").inc()
+            self.metrics.histogram("serve.latency_seconds",
+                                   path="submit").observe(elapsed)
+        finally:
+            if gather is not None and not gather.done():
+                gather.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await gather
+            self._active_requests -= 1
+            remaining = self._active_clients.get(client, 1) - 1
+            if remaining <= 0:
+                self._active_clients.pop(client, None)
+            else:
+                self._active_clients[client] = remaining
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The ``GET /stats`` document (also handy in-process)."""
+        return {
+            "server": {
+                "host": self.host,
+                "port": self.port,
+                "uptime_seconds": round(
+                    time.monotonic() - self._started_mono, 3)
+                    if self._started_mono else 0.0,
+                "closing": self._closing,
+                "active_requests": self._active_requests,
+                "queued_jobs": self._queued_jobs,
+                "workers": self.config.n_workers,
+            },
+            "admission": {
+                "queue_limit": self.config.queue_limit,
+                "per_client": self.config.per_client,
+                "batch_window": self.config.batch_window,
+                "batch_max": self.config.batch_max,
+            },
+            "cache": stats_document(self.cache)
+                if self.cache is not None else None,
+            "jobs": dict(self.runner.stats),
+            "metrics": self.metrics.snapshot(),
+        }
+
+
+@contextlib.contextmanager
+def serve_in_thread(config: ServeConfig | None = None):
+    """A running :class:`SimServer` on a background event loop.
+
+    The tests and the load-test harness use this to run server and
+    clients in one process::
+
+        with serve_in_thread(ServeConfig(port=0, n_workers=1)) as server:
+            client = ServeClient(f"http://{server.host}:{server.port}")
+            ...
+
+    ``port=0`` binds an ephemeral port; the bound address is on the
+    yielded server. Exiting the context performs the full graceful
+    shutdown (drain, join workers, close the loop).
+    """
+    server = SimServer(config or ServeConfig(port=0))
+    loop = asyncio.new_event_loop()
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_forever()
+
+    thread = threading.Thread(target=_run, name="serve-loop", daemon=True)
+    thread.start()
+    try:
+        asyncio.run_coroutine_threadsafe(server.start(), loop).result(30.0)
+        yield server
+    finally:
+        with contextlib.suppress(Exception):
+            asyncio.run_coroutine_threadsafe(server.stop(), loop).result(60.0)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10.0)
+        if not thread.is_alive():
+            loop.close()

@@ -12,8 +12,11 @@ from repro.jobs import (
     JobSpec,
     ResultCache,
     execute_spec,
+    install_signal_handlers,
     jsonify,
+    stats_document,
 )
+from repro.jobs.pool import CANCELLED
 from repro.jobs.__main__ import main as jobs_main
 from repro.telemetry.metrics import MetricsRegistry
 
@@ -352,6 +355,117 @@ class TestJobsCli:
         assert "removed 1" in capsys.readouterr().out
         assert jobs_main(["cache", "ls", "--cache-dir", cache_dir]) == 0
         assert "empty" in capsys.readouterr().out
+
+    def test_cache_json_stats(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "c")
+        jobs_main(["submit", SQUARE, "--payload", '{"n": 3}',
+                   "--cache-dir", cache_dir])
+        jobs_main(["submit", SQUARE, "--payload", '{"n": 3}',
+                   "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert jobs_main(["cache", "--json", "--cache-dir", cache_dir]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert set(document) >= {"directory", "entries", "bytes",
+                                 "hits", "misses"}
+        assert document["entries"] == 1
+        assert document["bytes"] > 0
+        # last_run.state reflects the warm second submission.
+        assert document["hits"] == 1
+        assert document["misses"] == 0
+
+    def test_stats_document_matches_cli(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        runner = JobRunner(n_workers=1, cache=cache)
+        spec = JobSpec(task=SQUARE, payload={"n": 4})
+        runner.run([spec])
+        runner.run([spec])
+        document = stats_document(cache)
+        assert document["entries"] == 1
+        assert document["hits"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Graceful shutdown
+# ---------------------------------------------------------------------------
+class TestGracefulShutdown:
+    def test_inline_stop_cancels_remaining_jobs(self):
+        runner = JobRunner(n_workers=1)
+        specs = [JobSpec(task=SQUARE, payload={"n": n}) for n in range(6)]
+
+        def stop_after_two(event):
+            if event.kind == "done" and event.index == 1:
+                runner.request_stop()
+
+        runner.on_event = stop_after_two
+        results = runner.run(specs)
+        assert [r.ok for r in results[:2]] == [True, True]
+        assert all(not r.ok and r.error == CANCELLED for r in results[2:])
+        assert runner.stats["cancelled"] == 4
+        assert runner.stopping
+
+    def test_pooled_stop_drains_without_orphans(self):
+        import multiprocessing
+
+        runner = JobRunner(n_workers=2)
+        specs = [JobSpec(task="repro.jobs.testing:sleep",
+                         payload={"seconds": 0.05, "which": n})
+                 for n in range(8)]
+
+        def stop_on_first_done(event):
+            if event.kind == "done":
+                runner.request_stop()
+
+        runner.on_event = stop_on_first_done
+        results = runner.run(specs)
+        done = [r for r in results if r.ok]
+        cancelled = [r for r in results if not r.ok]
+        assert done, "at least the triggering job completed"
+        assert cancelled, "undispatched jobs were cancelled"
+        assert all(r.error == CANCELLED for r in cancelled)
+        assert runner.stats["cancelled"] == len(cancelled)
+        assert multiprocessing.active_children() == []
+
+    def test_stopped_runner_cancels_everything_up_front(self):
+        runner = JobRunner(n_workers=2)
+        runner.request_stop()
+        results = runner.run([JobSpec(task=SQUARE, payload={"n": 3})])
+        assert not results[0].ok and results[0].error == CANCELLED
+
+    def test_force_stop_kills_in_flight_jobs(self):
+        import multiprocessing
+        import threading
+
+        runner = JobRunner(n_workers=2)
+        specs = [JobSpec(task="repro.jobs.testing:sleep",
+                         payload={"seconds": 60, "which": n})
+                 for n in range(2)]
+
+        def stop_on_start(event):
+            if event.kind == "start" and event.index == 0:
+                threading.Thread(
+                    target=lambda: runner.request_stop(force=True)).start()
+
+        runner.on_event = stop_on_start
+        started = time.time()
+        results = runner.run(specs)
+        assert time.time() - started < 30, "force stop did not kill sleeps"
+        assert all(not r.ok for r in results)
+        assert multiprocessing.active_children() == []
+
+    def test_signal_handlers_request_stop_then_escalate(self):
+        import signal
+
+        runner = JobRunner(n_workers=1)
+        restore = install_signal_handlers(runner, signals=(signal.SIGTERM,))
+        try:
+            assert not runner.stopping
+            signal.raise_signal(signal.SIGTERM)
+            assert runner.stopping and not runner._stop_force
+            signal.raise_signal(signal.SIGTERM)
+            assert runner._stop_force
+        finally:
+            restore()
+        assert signal.getsignal(signal.SIGTERM) == signal.SIG_DFL
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,408 @@
+"""Tests for repro.serve: protocol, round trips, admission, shutdown."""
+
+import json
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServeError
+from repro.jobs import JobSpec, ResultCache
+from repro.serve import (
+    Rejected,
+    ServeClient,
+    ServeConfig,
+    SimServer,
+    serve_in_thread,
+    shard_request,
+)
+from repro.serve.protocol import decode_event, encode_event
+
+SQUARE = "repro.jobs.testing:square"
+SLEEP = "repro.jobs.testing:sleep"
+
+
+@pytest.fixture(autouse=True)
+def pinned_code_version(monkeypatch):
+    """Pin the fingerprint so tests never hash the whole source tree."""
+    monkeypatch.setenv("REPRO_JOBS_CODE_VERSION", "serve-test-version")
+
+
+def _config(tmp_path, **overrides) -> ServeConfig:
+    defaults = dict(port=0, n_workers=1, cache_dir=str(tmp_path / "cache"),
+                    batch_window=0.005)
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def _client(server, **kwargs) -> ServeClient:
+    kwargs.setdefault("client_id", "test")
+    kwargs.setdefault("timeout", 30.0)
+    return ServeClient(f"http://{server.host}:{server.port}", **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Protocol: sharding and framing
+# ---------------------------------------------------------------------------
+class TestProtocol:
+    def test_single_spec(self):
+        specs = shard_request({"spec": {"task": SQUARE,
+                                        "payload": {"n": 3}}})
+        assert specs == [JobSpec(task=SQUARE, payload={"n": 3})]
+
+    def test_sweep_shards_deterministically(self):
+        document = {"sweep": {"task": SQUARE, "payload": {"base": 1},
+                              "grid": {"n": [1, 2], "m": [10, 20]},
+                              "seed": 7}}
+        specs = shard_request(document)
+        # Grid keys in sorted order (m before n), values in listed order.
+        assert [s.payload for s in specs] == [
+            {"base": 1, "m": 10, "n": 1}, {"base": 1, "m": 10, "n": 2},
+            {"base": 1, "m": 20, "n": 1}, {"base": 1, "m": 20, "n": 2},
+        ]
+        assert all(s.seed == 7 for s in specs)
+        assert specs == shard_request(document)
+
+    @pytest.mark.parametrize("document", [
+        None,
+        [],
+        {},
+        {"spec": {"task": SQUARE}, "sweep": {"task": SQUARE}},
+        {"sweep": {"task": "no-colon"}},
+        {"sweep": {"task": SQUARE, "grid": {"n": []}}},
+        {"sweep": {"task": SQUARE, "grid": "nope"}},
+        {"sweep": {"task": SQUARE, "seed": "x"}},
+    ])
+    def test_malformed_documents(self, document):
+        with pytest.raises(ServeError):
+            shard_request(document)
+
+    def test_oversized_sweep(self):
+        with pytest.raises(ServeError, match="split the grid"):
+            shard_request({"sweep": {"task": SQUARE,
+                                     "grid": {"a": list(range(100)),
+                                              "b": list(range(100))}}})
+
+    def test_event_framing_roundtrip(self):
+        doc = {"event": "done", "index": 3}
+        assert decode_event(encode_event(doc)) == doc
+        with pytest.raises(ServeError):
+            decode_event(b"{not json}\n")
+        with pytest.raises(ServeError):
+            decode_event(b'{"no_event_key": 1}\n')
+
+
+# ---------------------------------------------------------------------------
+# Request/response round trips
+# ---------------------------------------------------------------------------
+class TestRoundTrip:
+    def test_single_spec_roundtrip(self, tmp_path):
+        with serve_in_thread(_config(tmp_path)) as server:
+            result = _client(server).submit_spec(
+                JobSpec(task=SQUARE, payload={"n": 9}))
+            assert result["ok"] is True
+            assert result["value"] == 81
+            assert result["cached"] is False
+
+    def test_sweep_results_in_request_order(self, tmp_path):
+        with serve_in_thread(_config(tmp_path)) as server:
+            results = _client(server).submit(
+                {"sweep": {"task": SQUARE, "grid": {"n": [1, 2, 3, 4]}}})
+            assert [doc["value"] for doc in results] == [1, 4, 9, 16]
+            assert [doc["index"] for doc in results] == [0, 1, 2, 3]
+
+    def test_job_error_is_reported_not_fatal(self, tmp_path):
+        with serve_in_thread(_config(tmp_path)) as server:
+            results = _client(server).submit(
+                {"sweep": {"task": "repro.jobs.testing:fail",
+                           "payload": {"message": "induced"},
+                           "grid": {"which": [1]}}})
+            assert results[0]["ok"] is False
+            assert "induced" in results[0]["error"]
+            # The server survives and still answers.
+            assert _client(server).health()["ok"] is True
+
+    def test_bad_request_rejected_with_400(self, tmp_path):
+        with serve_in_thread(_config(tmp_path)) as server:
+            with pytest.raises(ServeError, match="exactly one of"):
+                _client(server).submit({"neither": 1})
+
+    def test_stats_and_health_endpoints(self, tmp_path):
+        with serve_in_thread(_config(tmp_path)) as server:
+            client = _client(server)
+            client.submit_spec(JobSpec(task=SQUARE, payload={"n": 2}))
+            stats = client.stats()
+            assert stats["server"]["queued_jobs"] == 0
+            assert stats["admission"]["queue_limit"] == 256
+            assert stats["cache"]["entries"] == 1
+            assert set(stats["cache"]) \
+                >= {"directory", "entries", "bytes", "hits", "misses"}
+            assert stats["jobs"]["completed"] == 1
+            counters = stats["metrics"]["counters"]
+            assert counters['serve.jobs{outcome="miss"}'] == 1
+            assert counters['serve.requests{status="ok"}'] == 1
+            latency = stats["metrics"]["histograms"][
+                'serve.latency_seconds{path="submit"}']
+            assert latency["count"] == 1 and latency["p99"] > 0
+            assert client.health()["ok"] is True
+
+
+# ---------------------------------------------------------------------------
+# Warm-cache short circuit
+# ---------------------------------------------------------------------------
+class TestWarmCache:
+    def test_warm_requests_never_touch_the_pool(self, tmp_path):
+        spec = JobSpec(task=SQUARE, payload={"n": 6})
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(spec, 36, elapsed=0.25)
+        with serve_in_thread(_config(tmp_path)) as server:
+            events = []
+            result = _client(server).submit_spec(
+                spec, on_event=lambda doc: events.append(doc["event"]))
+            assert result["ok"] is True and result["cached"] is True
+            assert result["value"] == 36
+            assert events == ["accepted", "hit", "result", "complete"]
+            # The runner never saw the job: served entirely from disk.
+            assert server.runner.stats["submitted"] == 0
+            snap = server.metrics.snapshot()["counters"]
+            assert snap['serve.jobs{outcome="hit"}'] == 1
+
+    def test_cold_then_warm(self, tmp_path):
+        spec = JobSpec(task=SQUARE, payload={"n": 5})
+        with serve_in_thread(_config(tmp_path)) as server:
+            client = _client(server)
+            first = client.submit_spec(spec)
+            second = client.submit_spec(spec)
+            assert first["cached"] is False
+            assert second["cached"] is True
+            assert first["value"] == second["value"] == 25
+            assert server.runner.stats["completed"] == 1
+
+    def test_mixed_sweep_splits_warm_and_cold(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(JobSpec(task=SQUARE, payload={"n": 1}), 1, 0.0)
+        with serve_in_thread(_config(tmp_path)) as server:
+            accepted = {}
+
+            def observe(doc):
+                if doc["event"] == "accepted":
+                    accepted.update(doc)
+
+            results = _client(server).submit(
+                {"sweep": {"task": SQUARE, "grid": {"n": [1, 2]}}},
+                on_event=observe)
+            assert accepted["warm"] == 1 and accepted["cold"] == 1
+            assert [doc["cached"] for doc in results] == [True, False]
+            assert [doc["value"] for doc in results] == [1, 4]
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+class TestAdmission:
+    def _submit_sleeper(self, server, seconds=2.0, client_id="holder"):
+        """Fire a slow request in a thread; returns (thread, accepted)."""
+        accepted = threading.Event()
+        thread = threading.Thread(
+            target=lambda: _client(server, client_id=client_id).submit_spec(
+                JobSpec(task=SLEEP, payload={"seconds": seconds}),
+                on_event=lambda doc: accepted.set()
+                if doc["event"] == "accepted" else None))
+        thread.start()
+        assert accepted.wait(10.0), "sleeper request never accepted"
+        return thread
+
+    def test_queue_bound_rejects_with_retry_after(self, tmp_path):
+        config = _config(tmp_path, queue_limit=1, per_client=8)
+        with serve_in_thread(config) as server:
+            thread = self._submit_sleeper(server, seconds=1.0)
+            time.sleep(0.05)
+            with pytest.raises(Rejected) as excinfo:
+                _client(server, client_id="other").submit_spec(
+                    JobSpec(task=SQUARE, payload={"n": 2}))
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after >= 1
+            assert "queue full" in str(excinfo.value)
+            thread.join()
+            snap = server.metrics.snapshot()["counters"]
+            assert snap['serve.requests{status="rejected"}'] == 1
+
+    def test_warm_hits_bypass_a_full_queue(self, tmp_path):
+        warm = JobSpec(task=SQUARE, payload={"n": 4})
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(warm, 16, 0.0)
+        config = _config(tmp_path, queue_limit=1, per_client=8)
+        with serve_in_thread(config) as server:
+            thread = self._submit_sleeper(server, seconds=1.0)
+            time.sleep(0.05)
+            result = _client(server, client_id="other").submit_spec(warm)
+            assert result["cached"] is True and result["value"] == 16
+            thread.join()
+
+    def test_per_client_cap(self, tmp_path):
+        config = _config(tmp_path, queue_limit=64, per_client=1)
+        with serve_in_thread(config) as server:
+            thread = self._submit_sleeper(server, seconds=1.0,
+                                          client_id="greedy")
+            time.sleep(0.05)
+            with pytest.raises(Rejected, match="open requests"):
+                _client(server, client_id="greedy").submit_spec(
+                    JobSpec(task=SQUARE, payload={"n": 2}))
+            # A different tenant is unaffected.
+            other = _client(server, client_id="patient").submit_spec(
+                JobSpec(task=SQUARE, payload={"n": 2}))
+            assert other["value"] == 4
+            thread.join()
+
+    def test_retry_after_rejection_succeeds(self, tmp_path):
+        config = _config(tmp_path, queue_limit=1, per_client=8)
+        with serve_in_thread(config) as server:
+            thread = self._submit_sleeper(server, seconds=0.3)
+            time.sleep(0.05)
+            rejections = []
+            results = _client(server, client_id="other").submit_with_retry(
+                {"spec": JobSpec(task=SQUARE,
+                                 payload={"n": 3}).to_dict()},
+                max_sleep=0.2, on_reject=rejections.append)
+            assert results[0]["value"] == 9
+            assert len(rejections) >= 1
+            thread.join()
+
+
+# ---------------------------------------------------------------------------
+# Event-stream ordering
+# ---------------------------------------------------------------------------
+class TestEventStream:
+    def test_cold_request_event_order(self, tmp_path):
+        with serve_in_thread(_config(tmp_path)) as server:
+            events = []
+            _client(server).submit_spec(
+                JobSpec(task=SQUARE, payload={"n": 3}),
+                on_event=events.append)
+            kinds = [doc["event"] for doc in events]
+            assert kinds == ["accepted", "start", "done", "result",
+                             "complete"]
+            assert events[0]["jobs"] == 1 and events[0]["cold"] == 1
+            assert events[-1]["ok"] == 1 and events[-1]["failed"] == 0
+
+    def test_sweep_per_job_progress_precedes_results(self, tmp_path):
+        with serve_in_thread(_config(tmp_path)) as server:
+            events = []
+            _client(server).submit(
+                {"sweep": {"task": SQUARE, "grid": {"n": [1, 2, 3]}}},
+                on_event=events.append)
+            kinds = [doc["event"] for doc in events]
+            assert kinds[0] == "accepted" and kinds[-1] == "complete"
+            # Every done for a job precedes every result; per-index the
+            # start precedes the done.
+            assert max(i for i, k in enumerate(kinds) if k == "done") \
+                < kinds.index("result")
+            for index in range(3):
+                starts = [i for i, doc in enumerate(events)
+                          if doc["event"] == "start"
+                          and doc["index"] == index]
+                dones = [i for i, doc in enumerate(events)
+                         if doc["event"] == "done" and doc["index"] == index]
+                assert starts and dones and starts[0] < dones[0]
+
+
+# ---------------------------------------------------------------------------
+# Shutdown
+# ---------------------------------------------------------------------------
+class TestShutdown:
+    def test_clean_shutdown_leaves_no_processes(self, tmp_path):
+        config = _config(tmp_path, n_workers=2)
+        with serve_in_thread(config) as server:
+            result = _client(server).submit_spec(
+                JobSpec(task=SQUARE, payload={"n": 7}))
+            assert result["value"] == 49
+            host, port = server.host, server.port
+        assert multiprocessing.active_children() == []
+        with pytest.raises(OSError):
+            ServeClient(f"http://{host}:{port}", timeout=2.0).health()
+
+    def test_closing_server_refuses_new_work(self, tmp_path):
+        with serve_in_thread(_config(tmp_path)) as server:
+            client = _client(server)
+            client.submit_spec(JobSpec(task=SQUARE, payload={"n": 2}))
+            server._closing = True  # as stop() sets before draining
+            with pytest.raises(Rejected) as excinfo:
+                client.submit_spec(JobSpec(task=SQUARE, payload={"n": 3}))
+            assert excinfo.value.status == 503
+            server._closing = False
+
+    def test_drain_timeout_force_cancels(self, tmp_path):
+        config = _config(tmp_path, n_workers=2, drain_timeout=0.3)
+        with serve_in_thread(config) as server:
+            accepted = threading.Event()
+            outcome = {}
+
+            def slow():
+                try:
+                    outcome["results"] = _client(server).submit(
+                        {"spec": JobSpec(
+                            task=SLEEP,
+                            payload={"seconds": 30}).to_dict()},
+                        on_event=lambda doc: accepted.set()
+                        if doc["event"] == "accepted" else None)
+                except ServeError as error:
+                    outcome["error"] = error
+
+            thread = threading.Thread(target=slow)
+            thread.start()
+            assert accepted.wait(10.0)
+        # Exiting the context stopped the server with a 0.3s drain
+        # budget: the 30s job was force-cancelled, not awaited.
+        thread.join(20.0)
+        assert not thread.is_alive()
+        assert multiprocessing.active_children() == []
+        if "results" in outcome:
+            assert outcome["results"][0]["ok"] is False
+            assert "cancelled" in outcome["results"][0]["error"]
+
+
+# ---------------------------------------------------------------------------
+# Remote experiments (--serve)
+# ---------------------------------------------------------------------------
+class TestRemoteExperiments:
+    def test_run_experiment_remotely(self, tmp_path, capsys):
+        from repro.experiments.runner import main as experiments_main
+
+        with serve_in_thread(_config(tmp_path)) as server:
+            url = f"http://{server.host}:{server.port}"
+            json_path = tmp_path / "remote.json"
+            code = experiments_main(["run", "table2", "--quick",
+                                     "--serve", url,
+                                     "--json", str(json_path)])
+            assert code == 0
+            document = json.loads(json_path.read_text())
+            assert document["_serve"] == {"requests": 1, "cached": 0,
+                                          "failed": 0}
+            assert document["table2"]["measurements"]["mismatches"] == 0
+            # Warm rerun: the server answers from its cache.
+            code = experiments_main(["run", "table2", "--quick",
+                                     "--serve", url,
+                                     "--json", str(json_path)])
+            assert code == 0
+            document = json.loads(json_path.read_text())
+            assert document["_serve"]["cached"] == 1
+        capsys.readouterr()
+
+    def test_serve_flag_conflicts(self, capsys):
+        from repro.experiments.runner import main as experiments_main
+
+        assert experiments_main(["run", "table2", "--serve", "u",
+                                 "-j", "2"]) == 2
+        assert experiments_main(["run", "table2", "--serve", "u",
+                                 "--sanitize"]) == 2
+        capsys.readouterr()
+
+    def test_unreachable_server_is_a_failure_not_a_crash(self, tmp_path,
+                                                         capsys):
+        from repro.experiments.runner import main as experiments_main
+
+        code = experiments_main(["run", "table2", "--quick",
+                                 "--serve", "http://127.0.0.1:1"])
+        assert code == 1
+        assert "remote execution" in capsys.readouterr().err
