@@ -138,6 +138,7 @@ class SimServer:
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="serve-batch")
         self._queue: asyncio.Queue[_Entry | None] | None = None
+        self._handlers: set[asyncio.Task] = set()
         self._routing: list[_Entry] | None = None
         self._queued_jobs = 0
         self._active_clients: dict[str, int] = {}
@@ -186,6 +187,18 @@ class SimServer:
             except asyncio.TimeoutError:
                 self.runner.request_stop(force=True)
                 await self._dispatcher
+        # On Python <= 3.11 wait_closed() does not wait for connection
+        # handlers, so settle them explicitly: the dispatcher drain has
+        # resolved their futures, they just need loop time to flush
+        # their final events. Stragglers (a client not reading its
+        # stream) are cancelled rather than waited on forever.
+        if self._handlers:
+            await asyncio.wait(set(self._handlers),
+                               timeout=self.config.drain_timeout)
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
         self._executor.shutdown(wait=True)
 
     # ------------------------------------------------------------------
@@ -193,29 +206,54 @@ class SimServer:
     # ------------------------------------------------------------------
     async def _dispatch_loop(self) -> None:
         assert self._queue is not None and self._loop is not None
+        try:
+            while True:
+                head = await self._queue.get()
+                if head is None:
+                    return
+                batch = [head]
+                deadline = self._loop.time() + self.config.batch_window
+                draining = False
+                while len(batch) < self.config.batch_max:
+                    remaining = deadline - self._loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        entry = await asyncio.wait_for(self._queue.get(),
+                                                       remaining)
+                    except asyncio.TimeoutError:
+                        break
+                    if entry is None:
+                        draining = True
+                        break
+                    batch.append(entry)
+                await self._run_batch(batch)
+                if draining:
+                    return
+        finally:
+            self._flush_stranded()
+
+    def _flush_stranded(self) -> None:
+        """Fail entries that raced past the shutdown sentinel.
+
+        A /submit handler that passed its ``_closing`` check can still
+        be mid-stream when :meth:`stop` inserts the sentinel; anything
+        it enqueues afterwards would otherwise sit behind the sentinel
+        forever, its future unresolved and its client hung.
+        """
+        assert self._queue is not None
         while True:
-            head = await self._queue.get()
-            if head is None:
-                return
-            batch = [head]
-            deadline = self._loop.time() + self.config.batch_window
-            draining = False
-            while len(batch) < self.config.batch_max:
-                remaining = deadline - self._loop.time()
-                if remaining <= 0:
-                    break
-                try:
-                    entry = await asyncio.wait_for(self._queue.get(),
-                                                   remaining)
-                except asyncio.TimeoutError:
-                    break
-                if entry is None:
-                    draining = True
-                    break
-                batch.append(entry)
-            await self._run_batch(batch)
-            if draining:
-                return
+            try:
+                entry = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if entry is None:
+                continue
+            self._queued_jobs -= 1
+            if not entry.future.done():
+                entry.future.set_result(
+                    JobResult(entry.spec, error="server is shutting down"))
+        self.metrics.gauge("serve.queue_depth").set(self._queued_jobs)
 
     async def _run_batch(self, batch: list[_Entry]) -> None:
         assert self._loop is not None
@@ -254,7 +292,9 @@ class SimServer:
         doc = event(job_event.kind, index=entry.request_index,
                     attempt=job_event.attempt)
         if job_event.detail:
-            doc["detail"] = job_event.detail.strip().splitlines()[-1]
+            lines = job_event.detail.strip().splitlines()
+            if lines:
+                doc["detail"] = lines[-1]
         self._loop.call_soon_threadsafe(entry.events.put_nowait, doc)
 
     # ------------------------------------------------------------------
@@ -262,6 +302,9 @@ class SimServer:
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
         try:
             try:
                 method, path, headers, body = await self._read_request(reader)
@@ -284,6 +327,8 @@ class SimServer:
         except (ConnectionError, asyncio.IncompleteReadError, TimeoutError):
             pass  # client went away mid-exchange; the dispatcher owns state
         finally:
+            if task is not None:
+                self._handlers.discard(task)
             with contextlib.suppress(Exception):
                 writer.close()
                 await writer.wait_closed()
@@ -358,6 +403,27 @@ class SimServer:
             headers["Retry-After"] = str(retry_after)
         await self._respond(writer, status, document, headers)
 
+    def _probe_cache(self, specs: list[JobSpec]) -> tuple[
+            list[tuple[int, JobResult]], list[tuple[int, JobSpec]]]:
+        """Split *specs* into warm (cached) and cold.
+
+        Each probe is a blocking disk read and a sweep can carry
+        thousands of specs, so callers run this in an executor rather
+        than on the event loop.
+        """
+        warm: list[tuple[int, JobResult]] = []
+        cold: list[tuple[int, JobSpec]] = []
+        for index, spec in enumerate(specs):
+            entry = self.cache.get(spec) if self.cache is not None else None
+            if entry is not None:
+                meta = entry.get("meta", {})
+                warm.append((index, JobResult(
+                    spec, value=entry.get("result"), cached=True,
+                    elapsed=float(meta.get("elapsed_seconds", 0.0)))))
+            else:
+                cold.append((index, spec))
+        return warm, cold
+
     async def _handle_submit(self, writer, headers: dict,
                              body: bytes) -> None:
         assert self._loop is not None and self._queue is not None
@@ -374,24 +440,9 @@ class SimServer:
             return
 
         client = headers.get("x-client-id") or "anonymous"
-        # Warm probe first: cache hits bypass queue and admission
-        # entirely, so a hot catalog cannot be load-shed.
-        warm: list[tuple[int, JobResult]] = []
-        cold: list[tuple[int, JobSpec]] = []
-        hit_counter = self.metrics.counter("serve.jobs", outcome="hit")
-        miss_counter = self.metrics.counter("serve.jobs", outcome="miss")
-        for index, spec in enumerate(specs):
-            entry = self.cache.get(spec) if self.cache is not None else None
-            if entry is not None:
-                meta = entry.get("meta", {})
-                warm.append((index, JobResult(
-                    spec, value=entry.get("result"), cached=True,
-                    elapsed=float(meta.get("elapsed_seconds", 0.0)))))
-                hit_counter.inc()
-            else:
-                cold.append((index, spec))
-                miss_counter.inc()
-
+        # Cheap per-client check before anything costly: rejected
+        # requests must not pay the disk probes below (or skew the
+        # hit/miss telemetry).
         if self._active_clients.get(client, 0) >= self.config.per_client:
             await self._reject(
                 writer, 429,
@@ -399,24 +450,52 @@ class SimServer:
                 f"{self.config.per_client} open requests",
                 self._retry_after(0))
             return
-        if cold and self._queued_jobs + len(cold) > self.config.queue_limit:
-            await self._reject(
-                writer, 429,
-                f"job queue full ({self._queued_jobs} queued, "
-                f"limit {self.config.queue_limit})",
-                self._retry_after(len(cold)))
-            return
+        # Hold the client slot across the probe (which yields) so one
+        # client cannot overshoot its cap with concurrent probes.
+        self._active_clients[client] = self._active_clients.get(client, 0) + 1
+        try:
+            # Warm probe off the loop thread, so a large sweep cannot
+            # stall other connections. Cache hits bypass queue and
+            # admission entirely: a hot catalog cannot be load-shed.
+            if self.cache is not None:
+                warm, cold = await self._loop.run_in_executor(
+                    None, self._probe_cache, specs)
+            else:
+                warm, cold = [], list(enumerate(specs))
+            if cold and self._queued_jobs + len(cold) \
+                    > self.config.queue_limit:
+                await self._reject(
+                    writer, 429,
+                    f"job queue full ({self._queued_jobs} queued, "
+                    f"limit {self.config.queue_limit})",
+                    self._retry_after(len(cold)))
+                return
+            # Admitted: only now do the probe outcomes count, so the
+            # cache-hit-rate telemetry reflects served traffic.
+            self.metrics.counter("serve.jobs", outcome="hit").inc(len(warm))
+            self.metrics.counter("serve.jobs", outcome="miss").inc(len(cold))
+            await self._stream_submit(writer, specs, warm, cold, started)
+        finally:
+            remaining = self._active_clients.get(client, 1) - 1
+            if remaining <= 0:
+                self._active_clients.pop(client, None)
+            else:
+                self._active_clients[client] = remaining
 
-        # Admitted: account, enqueue, stream.
+    async def _stream_submit(self, writer, specs: list[JobSpec],
+                             warm: list[tuple[int, JobResult]],
+                             cold: list[tuple[int, JobSpec]],
+                             started: float) -> None:
+        assert self._loop is not None and self._queue is not None
         self._next_request += 1
         request_id = f"r{self._next_request}"
-        self._active_clients[client] = self._active_clients.get(client, 0) + 1
         self._active_requests += 1
         self._queued_jobs += len(cold)
         self.metrics.gauge("serve.queue_depth").set(self._queued_jobs)
         events: asyncio.Queue[dict] = asyncio.Queue()
         pending: dict[int, asyncio.Future] = {}
         gather: asyncio.Future | None = None
+        enqueued = 0
         try:
             await self._begin_stream(writer)
             await self._write_event(writer, event(
@@ -429,8 +508,17 @@ class SimServer:
             for index, spec in cold:
                 future = self._loop.create_future()
                 pending[index] = future
-                await self._queue.put(
-                    _Entry(spec, index, events, future))
+                if self._closing:
+                    # stop() slipped in while the warm results were
+                    # streaming; the dispatcher is draining past its
+                    # sentinel, so fail the job here instead of
+                    # stranding it on the queue.
+                    future.set_result(JobResult(
+                        spec, error="server is shutting down"))
+                else:
+                    await self._queue.put(
+                        _Entry(spec, index, events, future))
+                    enqueued += 1
             if pending:
                 gather = asyncio.gather(*pending.values())
                 while not (gather.done() and events.empty()):
@@ -461,12 +549,16 @@ class SimServer:
                 gather.cancel()
                 with contextlib.suppress(asyncio.CancelledError):
                     await gather
+            # Cold jobs that never reached the dispatcher (client
+            # vanished before the enqueue loop, or shutdown) still
+            # hold queue reservations; only _run_batch releases the
+            # enqueued ones, so release the remainder here.
+            stranded = len(cold) - enqueued
+            if stranded:
+                self._queued_jobs -= stranded
+                self.metrics.gauge("serve.queue_depth").set(
+                    self._queued_jobs)
             self._active_requests -= 1
-            remaining = self._active_clients.get(client, 1) - 1
-            if remaining <= 0:
-                self._active_clients.pop(client, None)
-            else:
-                self._active_clients[client] = remaining
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:

@@ -1,5 +1,6 @@
 """Tests for repro.serve: protocol, round trips, admission, shutdown."""
 
+import asyncio
 import json
 import multiprocessing
 import threading
@@ -9,6 +10,7 @@ import pytest
 
 from repro.errors import ServeError
 from repro.jobs import JobSpec, ResultCache
+from repro.jobs.pool import JobEvent
 from repro.serve import (
     Rejected,
     ServeClient,
@@ -18,6 +20,7 @@ from repro.serve import (
     shard_request,
 )
 from repro.serve.protocol import decode_event, encode_event
+from repro.serve.server import _Entry
 
 SQUARE = "repro.jobs.testing:square"
 SLEEP = "repro.jobs.testing:sleep"
@@ -227,6 +230,9 @@ class TestAdmission:
             thread.join()
             snap = server.metrics.snapshot()["counters"]
             assert snap['serve.requests{status="rejected"}'] == 1
+            # The rejected request must not skew hit/miss telemetry:
+            # only the admitted sleeper counts.
+            assert snap['serve.jobs{outcome="miss"}'] == 1
 
     def test_warm_hits_bypass_a_full_queue(self, tmp_path):
         warm = JobSpec(task=SQUARE, payload={"n": 4})
@@ -254,6 +260,31 @@ class TestAdmission:
                 JobSpec(task=SQUARE, payload={"n": 2}))
             assert other["value"] == 4
             thread.join()
+
+    def test_disconnect_before_enqueue_releases_queue_capacity(
+            self, tmp_path):
+        """A client that vanishes before its cold jobs reach the
+        dispatcher must not leak its queue reservation (it would
+        otherwise 429 all cold traffic forever)."""
+
+        class _BrokenWriter:
+            def write(self, data):
+                raise ConnectionError("client went away")
+
+            async def drain(self):
+                pass
+
+        with serve_in_thread(_config(tmp_path, queue_limit=2)) as server:
+            spec = JobSpec(task=SQUARE, payload={"n": 3})
+            handle = asyncio.run_coroutine_threadsafe(
+                server._stream_submit(_BrokenWriter(), [spec], [],
+                                      [(0, spec)], time.perf_counter()),
+                server._loop)
+            with pytest.raises(ConnectionError):
+                handle.result(10.0)
+            assert server._queued_jobs == 0
+            # Capacity really is back: a fresh request still fits.
+            assert _client(server).submit_spec(spec)["value"] == 9
 
     def test_retry_after_rejection_succeeds(self, tmp_path):
         config = _config(tmp_path, queue_limit=1, per_client=8)
@@ -306,6 +337,33 @@ class TestEventStream:
                          if doc["event"] == "done" and doc["index"] == index]
                 assert starts and dones and starts[0] < dones[0]
 
+    def test_whitespace_only_detail_is_dropped_not_fatal(self, tmp_path):
+        """A whitespace-only JobEvent.detail must not crash the
+        forwarder and swallow the progress event with it."""
+        with serve_in_thread(_config(tmp_path)) as server:
+            spec = JobSpec(task=SQUARE, payload={"n": 1})
+
+            async def scenario():
+                events: asyncio.Queue = asyncio.Queue()
+                future = server._loop.create_future()
+                server._routing = [_Entry(spec, 7, events, future)]
+                try:
+                    server._on_job_event(
+                        JobEvent(kind="start", index=0, detail="  \n\t "))
+                    server._on_job_event(
+                        JobEvent(kind="done", index=0,
+                                 detail="first\nlast line\n"))
+                    await asyncio.sleep(0.05)
+                    return events.get_nowait(), events.get_nowait()
+                finally:
+                    server._routing = None
+
+            first, second = asyncio.run_coroutine_threadsafe(
+                scenario(), server._loop).result(10.0)
+            assert first["event"] == "start" and "detail" not in first
+            assert first["index"] == 7
+            assert second["detail"] == "last line"
+
 
 # ---------------------------------------------------------------------------
 # Shutdown
@@ -331,6 +389,26 @@ class TestShutdown:
                 client.submit_spec(JobSpec(task=SQUARE, payload={"n": 3}))
             assert excinfo.value.status == 503
             server._closing = False
+
+    def test_entries_behind_the_sentinel_fail_cleanly(self, tmp_path):
+        """A cold job enqueued after the shutdown sentinel must resolve
+        (with an error) instead of hanging its client forever."""
+        with serve_in_thread(_config(tmp_path)) as server:
+            spec = JobSpec(task=SQUARE, payload={"n": 2})
+
+            async def scenario():
+                future = server._loop.create_future()
+                entry = _Entry(spec, 0, asyncio.Queue(), future)
+                server._queued_jobs += 1
+                await server._queue.put(None)   # shutdown sentinel
+                await server._queue.put(entry)  # raced past it
+                return await asyncio.wait_for(future, 10.0)
+
+            result = asyncio.run_coroutine_threadsafe(
+                scenario(), server._loop).result(15.0)
+            assert result.ok is False
+            assert "shutting down" in result.error
+            assert server._queued_jobs == 0
 
     def test_drain_timeout_force_cancels(self, tmp_path):
         config = _config(tmp_path, n_workers=2, drain_timeout=0.3)
