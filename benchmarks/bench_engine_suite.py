@@ -35,6 +35,11 @@ import pathlib
 import sys
 import time
 
+from repro.core.chip import Chip
+from repro.isa import Interpreter
+from repro.isa.kernels import stream_kernel_program, stream_register_setup
+from repro.memory.address import make_effective
+from repro.memory.interest_groups import IG_ALL
 from repro.workloads.fft import FFTParams, run_fft
 from repro.workloads.radix import RadixParams, run_radix
 from repro.workloads.stream import StreamParams, run_stream
@@ -47,10 +52,45 @@ TELEMETRY_PATH = RESULTS_DIR / "BENCH_telemetry.json"
 #: this multiple of the committed pre-fast-path STREAM baseline.
 MIN_SPEEDUP = 2.0
 
+#: Basic-block superinstructions must keep the ISA-interpreter STREAM
+#: benchmark at least this much faster than per-instruction threaded
+#: dispatch on the same machine (the measured gain is ~1.5x; 1.3x
+#: leaves headroom for runner noise without letting the optimization
+#: silently rot).
+MIN_BLOCK_SPEEDUP = 1.3
+
 #: Allowed slack when CI compares a quick run against the committed
 #: artifact (shared runners are slow and noisy; 20% catches real
 #: regressions without tripping on machine variance).
 REGRESSION_SLACK = 0.20
+
+
+def _isa_stream(n_per_thread: int, block_dispatch: bool) -> int:
+    """STREAM triad through the ISA interpreter; returns final cycles.
+
+    Unlike the direct-execution ``run_stream`` rows, this path executes
+    real encoded instructions, so it is the one the basic-block
+    superinstruction compiler (``repro.isa.blocks``) can accelerate.
+    The threaded/blocks pair measures that dispatcher head-to-head on
+    an identical simulation.
+    """
+    n_threads = 32
+    chip = Chip()
+    program = stream_kernel_program("triad", 1)
+    interp = Interpreter(chip, model_fetch=False,
+                         block_dispatch=block_dispatch)
+    for t in range(n_threads):
+        src = 0x10000 + t * 0x4000
+        src2 = 0x100000 + t * 0x4000
+        dst = 0x200000 + t * 0x4000
+        chip.memory.backing.f64_view(src, n_per_thread)[:] = 1.0
+        chip.memory.backing.f64_view(src2, n_per_thread)[:] = 3.0
+        init_regs, init_doubles = stream_register_setup(
+            "triad", make_effective(src, IG_ALL),
+            make_effective(src2, IG_ALL), make_effective(dst, IG_ALL),
+            n_per_thread)
+        interp.add_thread(t, program, init_regs, init_doubles)
+    return interp.run()
 
 
 def _suite(quick: bool) -> list[tuple[str, object]]:
@@ -61,6 +101,9 @@ def _suite(quick: bool) -> list[tuple[str, object]]:
         fft = FFTParams(n_points=64, n_threads=4, barrier="hw")
         radix = RadixParams(n_keys=256, n_threads=4)
         names = ("stream_triad_32t_3200", "fft_64_hw_4t", "radix_256_4t")
+        isa_n = 100
+        isa_names = ("isa_stream_triad_32t_3200_threaded",
+                     "isa_stream_triad_32t_3200_blocks")
     else:
         # stream_triad_32t matches BENCH_telemetry.json exactly, so its
         # rate is directly comparable to the committed baseline.
@@ -69,10 +112,15 @@ def _suite(quick: bool) -> list[tuple[str, object]]:
         fft = FFTParams(n_points=256, n_threads=4, barrier="hw")
         radix = RadixParams(n_keys=512, n_threads=4)
         names = ("stream_triad_32t", "fft_256_hw_4t", "radix_512_4t")
+        isa_n = 400
+        isa_names = ("isa_stream_triad_32t_threaded",
+                     "isa_stream_triad_32t_blocks")
     return [
         (names[0], lambda: run_stream(stream).cycles),
         (names[1], lambda: run_fft(fft).total_cycles),
         (names[2], lambda: run_radix(radix).cycles),
+        (isa_names[0], lambda: _isa_stream(isa_n, block_dispatch=False)),
+        (isa_names[1], lambda: _isa_stream(isa_n, block_dispatch=True)),
     ]
 
 
@@ -136,6 +184,23 @@ def run_suite(rounds: int = 5, quick: bool = False) -> dict:
         "aggregate_simulated_cycles": total_cycles,
         "aggregate_simulated_cycles_per_sec": total_cycles / total_seconds,
     }
+    threaded = next(n for n in workloads if n.endswith("_threaded"))
+    blocks = next(n for n in workloads if n.endswith("_blocks"))
+    if workloads[threaded]["simulated_cycles"] != \
+            workloads[blocks]["simulated_cycles"]:
+        raise AssertionError(
+            "block dispatch moved simulated cycles: "
+            f"{workloads[blocks]['simulated_cycles']} != "
+            f"{workloads[threaded]['simulated_cycles']}"
+        )
+    payload["superinstructions"] = {
+        "threaded": threaded,
+        "blocks": blocks,
+        "block_speedup": (
+            workloads[blocks]["simulated_cycles_per_sec"]
+            / workloads[threaded]["simulated_cycles_per_sec"]
+        ),
+    }
     if baseline_rate and not quick:
         stream_rate = \
             workloads["stream_triad_32t"]["simulated_cycles_per_sec"]
@@ -178,6 +243,19 @@ def check_regression(payload: dict, committed_path: pathlib.Path) -> list[str]:
                 f"{entry['simulated_cycles_per_sec']:.0f} cyc/s "
                 f"- {REGRESSION_SLACK:.0%} floor ({floor:.0f})"
             )
+
+    # The superinstruction gate: block dispatch must stay at least
+    # MIN_BLOCK_SPEEDUP faster than per-instruction threaded dispatch
+    # *measured in the same run*, so shared-runner speed cancels out.
+    super_ = payload.get("superinstructions")
+    if super_ is None:
+        failures.append("superinstructions: section missing from this run")
+    elif super_["block_speedup"] < MIN_BLOCK_SPEEDUP:
+        failures.append(
+            f"superinstructions: block dispatch is only "
+            f"{super_['block_speedup']:.2f}x threaded dispatch "
+            f"(required {MIN_BLOCK_SPEEDUP:.1f}x)"
+        )
     return failures
 
 
@@ -203,6 +281,9 @@ def main(argv: list[str] | None = None) -> int:
               f"({entry['simulated_cycles_per_sec']:.0f} cyc/s)")
     print(f"aggregate: {payload['aggregate_simulated_cycles_per_sec']:.0f} "
           "simulated cycles/sec")
+    super_ = payload["superinstructions"]
+    print(f"block dispatch speedup ({super_['blocks']} vs "
+          f"{super_['threaded']}): {super_['block_speedup']:.2f}x")
 
     if args.check_regression:
         if not ENGINE_PATH.exists():
@@ -246,6 +327,9 @@ def test_engine_suite_quick():
     assert payload["aggregate_simulated_cycles"] > 0
     for entry in payload["workloads"].values():
         assert entry["simulated_cycles_per_sec"] > 0
+    # run_suite already asserts the threaded/blocks cycle counts match;
+    # the schema must expose the speedup for the CI gate.
+    assert payload["superinstructions"]["block_speedup"] > 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,738 @@
+"""Basic-block superinstructions for the ISA interpreter.
+
+The threaded-code dispatcher (:mod:`repro.isa.interpreter`) pays one
+Python call, one scoreboard merge, and one ``state.pc`` store per
+*dynamic instruction*. This module moves that cost to the basic-block
+level: each straight-line run of instructions compiles — once per
+``(latency table, PIB window)`` pair, cached on the
+:class:`~repro.isa.program.Program` — into **one fused closure** of
+generated Python source that
+
+* threads the issue clock and the per-register scoreboard through
+  locals, touching ``state.regs`` / ``state.ready`` once per register
+  per block instead of once per instruction;
+* folds every compile-time-constant quantity (latency rows, immediates,
+  retire counts, load/store/flop counter deltas) into literals;
+* writes ``state.pc`` only at block exit.
+
+**Block formation.** A leader is the program entry, every branch
+target, every fall-through past a block terminator, and every
+instruction whose address starts a new PIB window. A block runs from a
+leader to the first terminator: a branch or a ``halt``. *Generator*
+instructions (memory, FPU, SPR, atomic — the units that synchronize
+with the global event order) do **not** end a block: each one's
+scheduler yield is reproduced verbatim inside the fused closure, with
+the thread's architectural state (clock, counter deltas) flushed
+before parking, so the global event order — and therefore every
+simulated cycle count — is unchanged. Caching register/scoreboard
+values in locals across those yields is safe because that state is
+thread-private; everything shared (backing memory, FPU pipes, the SPR
+file) is read live, after the owning instruction's own yield.
+
+**Why blocks never span a PIB window.** The per-instruction loop
+consults the prefetch buffer before every instruction; straight-line
+fetch inside the 16-instruction window is free and only a window
+crossing can fetch. Cutting blocks at window boundaries makes the
+per-block PIB check in the dispatch loop equivalent to the
+per-instruction check, for both ``model_fetch`` modes, with no fetch
+logic inside blocks.
+
+**Fallbacks.** Non-leader indices (reachable only through ``jr`` into
+the middle of a block) keep their per-instruction handlers, so
+mid-block entry executes instruction-by-instruction until the next
+leader. A block containing an instruction the code generator cannot
+reproduce exactly (an odd register where a double pair is required —
+the per-instruction handler raises at run time) is not fused at all.
+Sanitized runs and ``CYCLOPS_NO_SUPERINST=1`` disable block dispatch
+entirely at the interpreter level (see ``Interpreter``).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+from repro.errors import ExecutionError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import ALU_UNITS, FPU_UNITS, MEM_SIZES, UnitClass
+from repro.isa.program import Program
+from repro.isa.registers import REG_LINK
+
+_U32 = 0xFFFFFFFF
+
+# ---------------------------------------------------------------------------
+# Shared runtime namespace for the generated code
+# ---------------------------------------------------------------------------
+_STRUCT_II = struct.Struct("<II")
+_STRUCT_D = struct.Struct("<d")
+_STRUCT_H = struct.Struct("<H")
+
+
+def _div_zero(tu) -> ExecutionError:
+    return ExecutionError(f"thread {tu.tid}: divide by zero")
+
+
+def _fdiv_zero(tu) -> ExecutionError:
+    return ExecutionError(f"thread {tu.tid}: FP divide by zero")
+
+
+#: Read-only helpers every generated block module can reach.
+_NAMESPACE = {
+    "_pk_II": _STRUCT_II.pack,
+    "_up_II": _STRUCT_II.unpack,
+    "_pk_d": _STRUCT_D.pack,
+    "_up_d": _STRUCT_D.unpack,
+    "_pk_H": _STRUCT_H.pack,
+    "_ifb": int.from_bytes,
+    "_fmod": math.fmod,
+    "_div_zero": _div_zero,
+    "_fdiv_zero": _fdiv_zero,
+}
+
+
+def _sx(expr: str) -> str:
+    """Signed-32 view of a u32 local/literal (inline, no call)."""
+    if expr == "0":
+        return "0"
+    return f"({expr} - 4294967296 if {expr} & 2147483648 else {expr})"
+
+
+#: ALU value expression per mnemonic: (builder(a, b, imm), needs_mask).
+#: ``a``/``b`` are u32 expressions (a local name or the literal ``0``);
+#: masking to 32 bits happens at writeback exactly as the
+#: per-instruction handlers do.
+_ALU_EXPR = {
+    "add": (lambda a, b, imm: f"{a} + {b}", True),
+    "sub": (lambda a, b, imm: f"{a} - {b}", True),
+    "and": (lambda a, b, imm: f"{a} & {b}", False),
+    "or": (lambda a, b, imm: f"{a} | {b}", False),
+    "xor": (lambda a, b, imm: f"{a} ^ {b}", False),
+    "nor": (lambda a, b, imm: f"~({a} | {b})", True),
+    "slt": (lambda a, b, imm: f"1 if {_sx(a)} < {_sx(b)} else 0", False),
+    "sltu": (lambda a, b, imm: f"1 if {a} < {b} else 0", False),
+    "sll": (lambda a, b, imm: f"{a} << ({b} & 31)", True),
+    "srl": (lambda a, b, imm: f"{a} >> ({b} & 31)", False),
+    "sra": (lambda a, b, imm: f"{_sx(a)} >> ({b} & 31)", True),
+    "addi": (lambda a, b, imm: f"{a} + ({imm})", True),
+    "andi": (lambda a, b, imm: f"{a} & {imm & _U32}", False),
+    "ori": (lambda a, b, imm: f"{a} | {imm & _U32}", False),
+    "xori": (lambda a, b, imm: f"{a} ^ {imm & _U32}", False),
+    "slti": (lambda a, b, imm: f"1 if {_sx(a)} < ({imm}) else 0", False),
+    "sltiu": (lambda a, b, imm: f"1 if {a} < {imm & _U32} else 0", False),
+    "slli": (lambda a, b, imm: f"{a} << {imm & 31}", True),
+    "srli": (lambda a, b, imm: f"{a} >> {imm & 31}", False),
+    "srai": (lambda a, b, imm: f"{_sx(a)} >> {imm & 31}", True),
+    "lui": (lambda a, b, imm: f"{((imm & 0x1FFF) << 19) & _U32}", False),
+    "mul": (lambda a, b, imm: f"({_sx(a)} * {_sx(b)}) & 4294967295", False),
+    "mulhu": (lambda a, b, imm: f"({a} * {b}) >> 32", False),
+}
+
+_BRANCH_COND_EXPR = {
+    "beq": lambda a, b: f"{a} == {b}",
+    "bne": lambda a, b: f"{a} != {b}",
+    "blt": lambda a, b: f"{_sx(a)} < {_sx(b)}",
+    "bge": lambda a, b: f"{_sx(a)} >= {_sx(b)}",
+    "bltu": lambda a, b: f"{a} < {b}",
+    "bgeu": lambda a, b: f"{a} >= {b}",
+}
+
+_FPU_VALUE_EXPR = {
+    "fadd": "_a + _b",
+    "fsub": "_a - _b",
+    "fmul": "_a * _b",
+    "fdiv": "_a / _b",
+    "fsqrt": "_a ** 0.5",
+    "fmadd": "_d + _a * _b",
+    "fmsub": "_d - _a * _b",
+    "fneg": "-_a",
+    "fabs": "abs(_a)",
+    "fmov": "_a",
+}
+
+#: FPU sub-unit method and flop count per arithmetic mnemonic — mirrors
+#: the interpreter's ``_FPU_ARITH`` table.
+_FPU_UNIT = {
+    "fadd": ("add", 1), "fsub": ("add", 1), "fmul": ("multiply", 1),
+    "fdiv": ("divide", 1), "fsqrt": ("sqrt", 1), "fmadd": ("fma", 2),
+    "fmsub": ("fma", 2), "fneg": ("add", 1), "fabs": ("add", 1),
+    "fmov": ("add", 1),
+}
+
+_AMO_OPS = {"amoadd": "add", "amoswap": "swap",
+            "amoand": "and", "amoor": "or"}
+
+
+class _Unfusable(Exception):
+    """The block contains an instruction codegen cannot reproduce."""
+
+
+# ---------------------------------------------------------------------------
+# Block formation
+# ---------------------------------------------------------------------------
+def _is_terminator(inst: Instruction) -> bool:
+    unit = inst.opcode.unit
+    return unit is UnitClass.BRANCH or inst.opcode.name == "halt"
+
+
+def block_spans(program: Program,
+                window_bytes: int) -> list[tuple[int, int]]:
+    """``(start, end)`` index spans of the program's basic blocks.
+
+    ``end`` is exclusive. Leaders: index 0, branch targets,
+    fall-throughs past a terminator, and every index whose address
+    starts a new PIB window (so no block spans a fetch boundary).
+    """
+    instructions = program.instructions
+    n = len(instructions)
+    if n == 0:
+        return []
+    leaders = {0}
+    for i, inst in enumerate(instructions):
+        unit = inst.opcode.unit
+        if unit is UnitClass.BRANCH:
+            leaders.add(i + 1)
+            name = inst.opcode.name
+            if name in ("j", "jal"):
+                target = inst.imm
+            elif name == "jr":
+                target = None
+            else:
+                target = i + 1 + inst.imm
+            if target is not None and 0 <= target < n:
+                leaders.add(target)
+        elif inst.opcode.name == "halt":
+            leaders.add(i + 1)
+    base = program.base
+    for i in range(n):
+        if (base + 4 * i) % window_bytes == 0:
+            leaders.add(i)
+    leaders.discard(n)
+    ordered = sorted(leaders)
+    spans = []
+    for pos, start in enumerate(ordered):
+        limit = ordered[pos + 1] if pos + 1 < len(ordered) else n
+        end = start
+        while end < limit:
+            end += 1
+            if _is_terminator(instructions[end - 1]):
+                break
+        spans.append((start, end))
+    return spans
+
+
+# ---------------------------------------------------------------------------
+# Code generation for one block
+# ---------------------------------------------------------------------------
+class _BlockEmitter:
+    """Emits the fused Python source of one basic block."""
+
+    def __init__(self, program: Program, lat, start: int, end: int) -> None:
+        self.program = program
+        self.lat = lat
+        self.start = start
+        self.end = end
+        self.lines: list[str] = []
+        #: Registers / scoreboard slots currently mirrored in locals.
+        self.local_r: set[int] = set()
+        self.local_t: set[int] = set()
+        #: Locals that must be stored back on flush (r0 never is).
+        self.dirty_r: set[int] = set()
+        self.dirty_t: set[int] = set()
+        #: Compile-time counter deltas (already-flushed prefix excluded).
+        self.ni = 0      # instructions
+        self.nr = 0      # run cycles
+        self.nl = 0      # loads
+        self.ns = 0      # stores
+        self.nf = 0      # flops
+        self.is_gen = False
+
+    # -- small emission helpers ---------------------------------------
+    def emit(self, line: str) -> None:
+        self.lines.append("    " + line)
+
+    def rv(self, reg: int) -> str:
+        """u32 value expression for *reg* (loads a local on first use)."""
+        if reg == 0:
+            return "0"
+        if reg not in self.local_r:
+            self.emit(f"r{reg} = _R[{reg}]")
+            self.local_r.add(reg)
+        return f"r{reg}"
+
+    def write_r(self, reg: int, expr: str) -> None:
+        """Write *expr* (already masked) into *reg*'s local (r0 drops)."""
+        if reg == 0:
+            return
+        self.emit(f"r{reg} = {expr}")
+        self.local_r.add(reg)
+        self.dirty_r.add(reg)
+
+    def tv(self, reg: int) -> str:
+        if reg not in self.local_t:
+            self.emit(f"t{reg} = _T[{reg}]")
+            self.local_t.add(reg)
+        return f"t{reg}"
+
+    def write_t(self, reg: int, expr: str) -> None:
+        self.emit(f"t{reg} = {expr}")
+        self.local_t.add(reg)
+        self.dirty_t.add(reg)
+
+    def read_double(self, reg: int) -> str:
+        """Double-precision read of pair *reg* (must be even)."""
+        if reg % 2:
+            raise _Unfusable(f"double read of odd r{reg}")
+        lo = self.rv(reg)
+        hi = self.rv(reg + 1)
+        return f"_up_d(_pk_II({lo}, {hi}))[0]"
+
+    def write_double(self, reg: int, expr: str) -> None:
+        if reg % 2:
+            raise _Unfusable(f"double write of odd r{reg}")
+        if reg == 0:
+            # Pair-0 writes are discarded whole, like the register file's
+            # write_double; the value expression was already evaluated.
+            return
+        self.emit(f"r{reg}, r{reg + 1} = _up_II(_pk_d({expr}))")
+        self.local_r.update((reg, reg + 1))
+        self.dirty_r.update((reg, reg + 1))
+
+    def wait_deps(self, deps: tuple[int, ...]) -> None:
+        """``e = max(it, ready[deps...])`` with locals, dupes skipped."""
+        self.emit("e = it")
+        seen = set()
+        for reg in deps:
+            if reg in seen:
+                continue
+            seen.add(reg)
+            t = self.tv(reg)
+            self.emit(f"if {t} > e: e = {t}")
+
+    def stall_to_e(self) -> None:
+        """Inline ``tu.issue_at(e)`` on the local clock."""
+        self.emit("if e > it:")
+        self.emit("    nst += e - it; nse += 1; it = e")
+
+    def retire(self, execution: int) -> None:
+        """Inline ``tu.retire(execution)``: constants fold into flush."""
+        self.ni += 1
+        self.nr += execution
+        self.emit(f"it += {execution}")
+
+    def flush(self) -> None:
+        """Store the clock and counter deltas back to state (block exit).
+
+        Counters are telemetry, harvested on the cold path — nothing
+        reads them while a thread is parked — so the whole block's
+        deltas land in one batch of compile-time constants here. The
+        architectural clock is different: it is flushed before every
+        yield (see :meth:`pre_yield`) as well as here.
+        """
+        self.emit("tu.issue_time = it")
+        self.emit("c = tu.counters")
+        if self.ni:
+            self.emit(f"c.instructions += {self.ni}")
+        if self.nr:
+            self.emit(f"c.run_cycles += {self.nr}")
+        if self.nl:
+            self.emit(f"c.loads += {self.nl}")
+        if self.ns:
+            self.emit(f"c.stores += {self.ns}")
+        if self.nf:
+            self.emit(f"c.flops += {self.nf}")
+        self.emit("if nst:")
+        self.emit("    c.stall_cycles += nst; c.stall_events += nse")
+
+    def flush_registers(self) -> None:
+        for reg in sorted(self.dirty_r):
+            self.emit(f"_R[{reg}] = r{reg}")
+        for reg in sorted(self.dirty_t):
+            self.emit(f"_T[{reg}] = t{reg}")
+        self.dirty_r.clear()
+        self.dirty_t.clear()
+
+    def pre_yield(self) -> None:
+        """Sync the architectural clock before parking at a yield."""
+        self.is_gen = True
+        self.emit("tu.issue_time = it")
+
+    # -- per-unit emitters --------------------------------------------
+    def emit_alu(self, inst: Instruction) -> None:
+        name = inst.opcode.name
+        row = getattr(self.lat, inst.opcode.latency_row)
+        execution, latency = row
+        a, b = self.rv(inst.ra), self.rv(inst.rb)
+        if name in ("div", "divu", "rem"):
+            self.emit(f"if {b} == 0:")
+            self.emit("    raise _div_zero(tu)")
+            if name == "div":
+                self.emit(f"_v = int({_sx(a)} / {_sx(b)}) & 4294967295")
+            elif name == "divu":
+                self.emit(f"_v = {a} // {b}")
+            else:
+                self.emit(
+                    f"_v = int(_fmod({_sx(a)}, {_sx(b)})) & 4294967295"
+                )
+        else:
+            build, needs_mask = _ALU_EXPR[name]
+            expr = build(a, b, inst.imm)
+            if needs_mask:
+                expr = f"({expr}) & 4294967295"
+            self.emit(f"_v = {expr}")
+        self.wait_deps((inst.ra, inst.rb))
+        self.stall_to_e()
+        self.retire(execution)
+        self.write_r(inst.rd, "_v")
+        self.write_t(inst.rd, f"it + {latency}" if latency else "it")
+
+    def emit_system(self, inst: Instruction) -> None:
+        name = inst.opcode.name
+        if name == "nop":
+            self.retire(1)
+            return
+        if name == "tid":
+            self.retire(1)
+            self.write_r(inst.rd, "tu.tid")
+            self.write_t(inst.rd, "it")
+            return
+        if name == "sync":
+            # Conservative fence: waits on every register, so the
+            # scoreboard locals must be visible in the array first.
+            for reg in sorted(self.dirty_t):
+                self.emit(f"_T[{reg}] = t{reg}")
+            self.emit("e = max(_T)")
+            self.stall_to_e()
+            self.retire(1)
+            return
+        raise _Unfusable(f"system op {name}")
+
+    def emit_halt(self) -> None:
+        self.retire(1)
+        self.flush()
+        self.flush_registers()
+        self.emit("c.finish_time = it")
+        self.emit("state.halted = True")
+        self.emit("return")
+
+    def emit_branch(self, index: int, inst: Instruction) -> None:
+        name = inst.opcode.name
+        execution = self.lat.branch[0]
+        next_pc = index + 1
+        if name in _BRANCH_COND_EXPR:
+            a, b = self.rv(inst.ra), self.rv(inst.rb)
+            self.emit(f"_tk = {_BRANCH_COND_EXPR[name](a, b)}")
+            self.wait_deps((inst.ra, inst.rb))
+            self.stall_to_e()
+            self.retire(execution)
+            self.exit_to(f"{index + 1 + inst.imm} if _tk else {next_pc}")
+            return
+        if name == "j":
+            self.retire(execution)
+            self.exit_to(str(inst.imm))
+            return
+        if name == "jal":
+            link = self.program.address_of(next_pc) & _U32
+            self.write_r(REG_LINK, str(link))
+            self.write_t(REG_LINK, "it + 2")
+            self.retire(execution)
+            self.exit_to(str(inst.imm))
+            return
+        # jr
+        target = self.rv(inst.rd)
+        self.wait_deps((inst.rd,))
+        self.stall_to_e()
+        self.retire(execution)
+        self.exit_to(f"({target} - {self.program.base}) // 4")
+
+    def emit_memory(self, index: int, inst: Instruction) -> None:
+        name = inst.opcode.name
+        size = MEM_SIZES[name]
+        is_store = inst.opcode.unit is UnitClass.STORE
+        align_mask = ~(size - 1) if size >= 4 else ~3
+        access_size = size if size >= 4 else 4
+        rd = inst.rd
+        self.wait_deps(inst.scoreboard_deps())
+        self.pre_yield()
+        self.emit("e = yield e")
+        ea = self.rv(inst.ra)
+        if inst.imm:
+            self.emit(f"_ea = ({ea} + ({inst.imm})) & 4294967295")
+            ea = "_ea"
+        self.emit(f"_ph = {ea} & 16777215")
+        # interest-group bits | aligned offset — the two mask terms
+        # partition the address bits, so they fold into a single AND.
+        access_mask = 0xFF000000 | (0xFFFFFF & align_mask)
+        self.emit(
+            f"_o = state.memory.access(e, tu.quad_id, {ea} & "
+            f"{access_mask}, {access_size}, {is_store})"
+        )
+        self.emit("e = _o.issue_end - 1")
+        self.stall_to_e()
+        self.retire(1)
+        if is_store:
+            self.ns += 1
+            if name == "sd":
+                self.emit(
+                    f"state.backing.store_f64(_ph, {self.read_double(rd)})"
+                )
+            elif name == "sw":
+                self.emit(f"state.backing.store_u32(_ph, {self.rv(rd)})")
+            else:
+                self.emit("_wb = _ph - _ph % 4")
+                self.emit(
+                    "_dat = bytearray(state.backing.read_block(_wb, 4))"
+                )
+                if name == "sh":
+                    self.emit(
+                        "_dat[_ph % 4:_ph % 4 + 2] = "
+                        f"_pk_H({self.rv(rd)} & 65535)"
+                    )
+                else:  # sb
+                    self.emit(f"_dat[_ph % 4] = {self.rv(rd)} & 255")
+                self.emit("state.backing.write_block(_wb, bytes(_dat))")
+        else:
+            self.nl += 1
+            if name == "ld":
+                if rd % 2:
+                    raise _Unfusable("ld into odd pair")
+                self.write_double(rd, "state.backing.load_f64(_ph)")
+                self.write_t(rd, "_o.complete")
+                self.write_t(rd + 1 if rd + 1 < 64 else rd, f"t{rd}")
+            else:
+                if name == "lw":
+                    self.write_r(rd, "state.backing.load_u32(_ph)")
+                else:  # lhu / lbu
+                    self.write_r(
+                        rd,
+                        "_ifb(state.backing.read_block("
+                        f"_ph, {size}), 'little')",
+                    )
+                self.write_t(rd, "_o.complete")
+
+    def emit_atomic(self, index: int, inst: Instruction) -> None:
+        op = _AMO_OPS[inst.opcode.name]
+        self.wait_deps((inst.ra, inst.rb))
+        a, b = self.rv(inst.ra), self.rv(inst.rb)
+        self.pre_yield()
+        self.emit("e = yield e")
+        self.emit(
+            f"_o, _old = state.memory.atomic_rmw_u32(e, tu.quad_id, "
+            f"{a}, {op!r}, {b})"
+        )
+        self.emit("e = _o.issue_end - 1")
+        self.stall_to_e()
+        self.retire(1)
+        self.nl += 1
+        self.ns += 1
+        self.write_r(inst.rd, "_old")
+        self.write_t(inst.rd, "_o.complete")
+
+    def emit_fpu(self, index: int, inst: Instruction) -> None:
+        name = inst.opcode.name
+        ra, rb, rd = inst.ra, inst.rb, inst.rd
+        deps = inst.scoreboard_deps()
+        rd1 = rd + 1 if rd + 1 < 64 else rd
+
+        if name in ("cvtif", "cvtfi"):
+            self.wait_deps(deps)
+            a = self.rv(ra)  # loads the local before the yield if needed
+            if name == "cvtfi":
+                src = self.read_double(ra)
+            self.pre_yield()
+            self.emit("e = yield e")
+            self.emit("_ie, _rt = state.fpu.convert(e)")
+            self.emit("e = _ie - 1")
+            self.stall_to_e()
+            self.retire(1)
+            self.nf += 1
+            if name == "cvtif":
+                self.write_double(rd, f"float({_sx(a)})")
+                self.write_t(rd, "_rt")
+                self.write_t(rd1, "_rt")
+            else:
+                self.write_r(rd, f"int({src}) & 4294967295")
+                self.write_t(rd, "_rt")
+            return
+
+        if name in ("fcmplt", "fcmpeq"):
+            self.emit(f"_a = {self.read_double(ra)}")
+            b_expr = self.read_double(rb) if rb % 2 == 0 else "0.0"
+            self.emit(f"_b = {b_expr}")
+            cmp = "<" if name == "fcmplt" else "=="
+            self.emit(f"_v = 1 if _a {cmp} _b else 0")
+            self.wait_deps(deps)
+            self.pre_yield()
+            self.emit("e = yield e")
+            self.emit("_ie, _rt = state.fpu.add(e)")
+            self.emit("e = _ie - 1")
+            self.stall_to_e()
+            self.retire(1)
+            self.nf += 1
+            self.write_r(rd, "_v")
+            self.write_t(rd, "_rt")
+            return
+
+        unit_attr, flops = _FPU_UNIT[name]
+        execution = getattr(self.lat, inst.opcode.latency_row)[0]
+        self.emit(f"_a = {self.read_double(ra)}")
+        b_expr = self.read_double(rb) if rb % 2 == 0 else "0.0"
+        self.emit(f"_b = {b_expr}")
+        if name in ("fmadd", "fmsub"):
+            self.emit(f"_d = {self.read_double(rd)}")
+        if name == "fdiv":
+            self.emit("if _b == 0.0:")
+            self.emit("    raise _fdiv_zero(tu)")
+        self.emit(f"_v = {_FPU_VALUE_EXPR[name]}")
+        if rd % 2:
+            raise _Unfusable("FPU result into odd pair")
+        self.wait_deps(deps)
+        self.pre_yield()
+        self.emit("e = yield e")
+        self.emit(f"_ie, _rt = state.fpu.{unit_attr}(e)")
+        self.emit(f"e = _ie - {execution}")
+        self.stall_to_e()
+        self.retire(execution)
+        self.nf += flops
+        self.write_double(rd, "_v")
+        self.write_t(rd, "_rt")
+        self.write_t(rd1, "_rt")
+
+    def emit_spr(self, index: int, inst: Instruction) -> None:
+        name = inst.opcode.name
+        if name == "mtspr":
+            self.wait_deps((inst.ra,))
+            a = self.rv(inst.ra)
+            self.pre_yield()
+            self.emit("e = yield e")
+            self.stall_to_e()
+            self.retire(1)
+            self.emit(f"state.spr.write(tu.tid, {a} & 255)")
+        else:  # mfspr
+            self.pre_yield()
+            self.emit("e = yield it")
+            self.stall_to_e()
+            self.retire(1)
+            self.write_r(inst.rd, "state.spr.read_or() & 4294967295")
+            self.write_t(inst.rd, "it")
+
+    # -- block exits ---------------------------------------------------
+    def exit_to(self, pc_expr: str) -> None:
+        self.flush()
+        self.flush_registers()
+        self.emit(f"state.pc = {pc_expr}")
+        self.emit("return")
+
+    # -- driver --------------------------------------------------------
+    def compile_source(self, fn_name: str) -> str:
+        """The fused ``def`` for this block, or raises ``_Unfusable``."""
+        instructions = self.program.instructions
+        self.lines = [
+            f"def {fn_name}(state):",
+            "    tu = state.tu",
+            "    _R = state.regs._regs",
+            "    _T = state.ready",
+            "    it = tu.issue_time",
+            "    nst = 0",
+            "    nse = 0",
+        ]
+        for index in range(self.start, self.end):
+            inst = instructions[index]
+            unit = inst.opcode.unit
+            name = inst.opcode.name
+            if unit in ALU_UNITS:
+                self.emit_alu(inst)
+            elif unit is UnitClass.BRANCH:
+                self.emit_branch(index, inst)
+                return "\n".join(self.lines) + "\n"
+            elif unit is UnitClass.ATOMIC:
+                self.emit_atomic(index, inst)
+            elif unit in (UnitClass.LOAD, UnitClass.STORE):
+                self.emit_memory(index, inst)
+            elif unit in FPU_UNITS:
+                self.emit_fpu(index, inst)
+            elif unit is UnitClass.SPR:
+                self.emit_spr(index, inst)
+            elif name == "halt":
+                self.emit_halt()
+                return "\n".join(self.lines) + "\n"
+            elif unit is UnitClass.SYSTEM:
+                self.emit_system(inst)
+            else:
+                raise _Unfusable(f"unit {unit} has no emitter")
+        self.exit_to(str(self.end))
+        return "\n".join(self.lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# The block table
+# ---------------------------------------------------------------------------
+class BlockTable:
+    """Compiled dispatch table of one program under one latency table.
+
+    ``entries`` parallels the instruction list: a block leader's entry
+    is its fused closure; every other index keeps its per-instruction
+    handler so arbitrary ``jr`` targets stay executable. Entries are
+    ``(is_generator, fn)`` exactly like the threaded-code table, so the
+    interpreter's dispatch loop is table-agnostic.
+    """
+
+    __slots__ = ("entries", "n_blocks", "n_fused", "lengths", "source")
+
+    def __init__(self, entries: list, n_blocks: int, n_fused: int,
+                 lengths: list[int], source: str) -> None:
+        self.entries = entries
+        self.n_blocks = n_blocks
+        self.n_fused = n_fused
+        #: Instruction count of each fused block (telemetry histogram).
+        self.lengths = lengths
+        #: Generated Python source of every fused block (debugging aid).
+        self.source = source
+
+
+def compile_blocks(program: Program, lat, window_bytes: int,
+                   handlers: list) -> BlockTable:
+    """Compile *program*'s basic blocks against latency table *lat*.
+
+    *handlers* is the per-instruction threaded-code table (the fallback
+    for non-leader entries and unfusable blocks). The result is cached
+    on the program keyed by ``(lat identity, window_bytes)`` — see
+    :meth:`Program` — so sharing a program across threads or re-running
+    it compiles nothing.
+    """
+    cache = program._blocks
+    if cache is None:
+        cache = program._blocks = {}
+    key = (id(lat), window_bytes)
+    cached = cache.get(key)
+    if cached is not None and cached[0] is lat:
+        return cached[1]
+
+    spans = block_spans(program, window_bytes)
+    entries = list(handlers)
+    pieces: list[str] = []
+    fused: list[tuple[int, str, bool]] = []
+    lengths: list[int] = []
+    for start, end in spans:
+        if end - start == 1 and not _is_terminator(
+                program.instructions[start]):
+            # A lone straight-line instruction cut off by a leader or a
+            # window boundary: the fused form would be the handler.
+            continue
+        emitter = _BlockEmitter(program, lat, start, end)
+        try:
+            source = emitter.compile_source(f"_blk_{start}")
+        except _Unfusable:
+            continue
+        pieces.append(source)
+        fused.append((start, f"_blk_{start}", emitter.is_gen))
+        lengths.append(end - start)
+    module = "\n".join(pieces)
+    namespace = dict(_NAMESPACE)
+    if module:
+        code = compile(module, f"<blocks:{program.base:#x}>", "exec")
+        exec(code, namespace)
+    for start, fn_name, is_gen in fused:
+        entries[start] = (is_gen, namespace[fn_name])
+    table = BlockTable(entries, len(spans), len(fused), lengths, module)
+    cache[key] = (lat, table)
+    return table

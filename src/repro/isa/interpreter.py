@@ -24,6 +24,18 @@ compiled table is cached on the :class:`Program` keyed by the latency
 table, so re-running or sharing a program across threads compiles
 nothing.
 
+On top of the per-instruction table sits **block dispatch**
+(:mod:`repro.isa.blocks`): straight-line runs compile into one fused
+closure per basic block, so the dispatch loop runs once per block and
+register/scoreboard traffic collapses into locals. Cycle counts are
+identical by construction — generator instructions keep their exact
+yield points — and the per-instruction table remains the reference
+path: pass ``Interpreter(..., block_dispatch=False)``, set
+``CYCLOPS_NO_SUPERINST=1``, or attach the coherence sanitizer (its
+PC-accurate fault reporting needs per-instruction ``state.pc``
+updates) and dispatch falls back transparently. See
+``docs/performance.md``.
+
 The same :class:`~repro.core.chip.Chip` hardware backs this layer and
 the direct-execution runtime, so Table 2 microbenchmarks written in
 assembly validate the timing model the workloads run on.
@@ -32,6 +44,7 @@ assembly validate the timing model the workloads run on.
 from __future__ import annotations
 
 import math
+import os
 import struct
 
 from repro.core.chip import Chip
@@ -39,8 +52,9 @@ from repro.core.icache import PrefetchBuffer
 from repro.core.thread_unit import ThreadUnit
 from repro.engine.scheduler import Scheduler
 from repro.errors import ExecutionError
+from repro.isa.blocks import compile_blocks
 from repro.isa.instruction import Instruction
-from repro.isa.opcodes import ALU_UNITS, FPU_UNITS, UnitClass
+from repro.isa.opcodes import ALU_UNITS, FPU_UNITS, MEM_SIZES, UnitClass
 from repro.isa.program import Program
 from repro.isa.registers import REG_LINK, RegisterFile
 
@@ -96,13 +110,32 @@ class _ThreadState:
 
 
 class Interpreter:
-    """Runs assembled programs on a chip with full timing."""
+    """Runs assembled programs on a chip with full timing.
 
-    def __init__(self, chip: Chip, model_fetch: bool = True) -> None:
+    ``block_dispatch`` selects basic-block superinstructions (the
+    default). It degrades to per-instruction threaded code when the
+    caller passes ``False``, when ``CYCLOPS_NO_SUPERINST=1`` is set, or
+    when the chip carries a coherence sanitizer — whose ``pc_of``
+    facade needs ``state.pc`` advanced at every instruction. Cycle
+    counts are identical either way.
+    """
+
+    def __init__(self, chip: Chip, model_fetch: bool = True,
+                 block_dispatch: bool = True) -> None:
         self.chip = chip
         self.scheduler = Scheduler()
         self.model_fetch = model_fetch
+        self.block_dispatch = (
+            block_dispatch
+            and os.environ.get("CYCLOPS_NO_SUPERINST", "") != "1"
+            and chip.memory.sanitizer is None
+        )
         self.states: dict[int, _ThreadState] = {}
+        #: Block tables in use, block dispatches since the last publish,
+        #: and tables already counted — telemetry, harvested by run().
+        self._block_tables: dict[int, "object"] = {}
+        self._block_dispatched = 0
+        self._published_tables: set[int] = set()
 
     # ------------------------------------------------------------------
     def add_thread(self, tid: int, program: Program,
@@ -123,7 +156,37 @@ class Interpreter:
 
     def run(self, until: int | None = None) -> int:
         """Run all threads to completion; returns the final cycle."""
-        return self.scheduler.run(until)
+        final = self.scheduler.run(until)
+        self._publish_block_metrics()
+        return final
+
+    def _publish_block_metrics(self) -> None:
+        """Cold-path harvest of block-dispatch counters into telemetry.
+
+        Publishes ``engine.blocks.compiled`` / ``engine.blocks.dispatches``
+        counters and the ``engine.blocks.length`` histogram when the chip
+        carries a :class:`~repro.telemetry.instrument.ChipInstrumentation`;
+        costs one attribute check per :meth:`run` otherwise.
+        """
+        if not self.block_dispatch:
+            return
+        inst = getattr(self.chip, "telemetry", None)
+        if inst is None:
+            return
+        registry = inst.registry
+        if self._block_dispatched:
+            registry.counter("engine.blocks.dispatches").inc(
+                self._block_dispatched
+            )
+            self._block_dispatched = 0
+        for table in self._block_tables.values():
+            if id(table) in self._published_tables:
+                continue
+            self._published_tables.add(id(table))
+            registry.counter("engine.blocks.compiled").inc(table.n_fused)
+            histogram = registry.histogram("engine.blocks.length")
+            for length in table.lengths:
+                histogram.observe(length)
 
     # ------------------------------------------------------------------
     # The per-thread process
@@ -131,11 +194,23 @@ class Interpreter:
     def _thread_proc(self, state: _ThreadState):
         tu = state.tu
         program = state.program
-        handlers = compile_program(program, self.chip.config.latency)
+        lat = self.chip.config.latency
+        handlers = compile_program(program, lat)
         n = len(handlers)
+        if self.block_dispatch:
+            # Blocks never span a PIB window (a formation rule), so the
+            # per-iteration fetch check below stays exact: entering a
+            # fused block can fetch at most once, at its first address.
+            window = tu.config.pib_entries * tu.config.word_bytes
+            table = compile_blocks(program, lat, window, handlers)
+            self._block_tables[id(table)] = table
+            entries = table.entries
+        else:
+            entries = handlers
         model_fetch = self.model_fetch
         pib = state.pib
         base = program.base
+        dispatched = 0
         while not state.halted:
             pc = state.pc
             if pc < 0 or pc >= n:
@@ -153,11 +228,13 @@ class Interpreter:
                     )
                     tu.issue_at(ready)
                     pib.refill(address)
-            is_gen, handler = handlers[pc]
+            dispatched += 1
+            is_gen, handler = entries[pc]
             if is_gen:
                 yield from handler(state)
             else:
                 handler(state)
+        self._block_dispatched += dispatched
         # Sync the process clock to the architectural finish time, so
         # run() reports real cycles even for programs that never touch
         # shared resources (pure ALU work advances only the local clock).
@@ -173,15 +250,25 @@ class Interpreter:
 # entry is ``(is_generator, fn)``.
 # ---------------------------------------------------------------------------
 def compile_program(program: Program, lat) -> list:
-    """The program's handler table for latency table *lat* (cached)."""
-    cached = program._threaded
+    """The program's handler table for latency table *lat* (cached).
+
+    The cache is a dict keyed on the latency table's identity (each
+    entry keeps its table alive, so ids cannot be recycled underneath
+    it): a program alternating between two chip configs — an ablation
+    sweep, say — hits the cache on both instead of recompiling on every
+    switch.
+    """
+    cache = program._threaded
+    if cache is None:
+        cache = program._threaded = {}
+    cached = cache.get(id(lat))
     if cached is not None and cached[0] is lat:
         return cached[1]
     handlers = [
         _compile_instruction(index, inst, program, lat)
         for index, inst in enumerate(program.instructions)
     ]
-    program._threaded = (lat, handlers)
+    cache[id(lat)] = (lat, handlers)
     return handlers
 
 
@@ -399,8 +486,6 @@ def _compile_atomic(index: int, inst: Instruction):
 
 
 def _compile_memory(index: int, inst: Instruction):
-    from repro.isa.opcodes import MEM_SIZES
-
     name = inst.opcode.name
     size = MEM_SIZES[name]
     is_store = inst.opcode.unit is UnitClass.STORE

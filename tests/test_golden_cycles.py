@@ -48,21 +48,33 @@ _CHAINS = [
 ]
 
 
+#: Both dispatchers must land on the same goldens: the block compiler
+#: (repro.isa.blocks) is a host-side optimization with per-instruction
+#: threaded code as its reference semantics.
+_DISPATCHERS = pytest.mark.parametrize(
+    "block_dispatch", [False, True], ids=["threaded", "blocks"]
+)
+
+
+@_DISPATCHERS
 @pytest.mark.parametrize(
     "setup,body,model_fetch,golden",
     [case[1:] for case in _CHAINS],
     ids=[case[0] for case in _CHAINS],
 )
-def test_isa_chain_goldens(setup, body, model_fetch, golden):
+def test_isa_chain_goldens(setup, body, model_fetch, golden,
+                           block_dispatch):
     source = setup + "\n" + "\n".join([body] * 8) + "\nhalt\n"
     chip = Chip(ChipConfig())
-    interpreter = Interpreter(chip, model_fetch=model_fetch)
+    interpreter = Interpreter(chip, model_fetch=model_fetch,
+                              block_dispatch=block_dispatch)
     state = interpreter.add_thread(0, assemble(source))
     final = interpreter.run()
     assert (final, max(state.ready)) == golden
 
 
-def test_pointer_chase_golden():
+@_DISPATCHERS
+def test_pointer_chase_golden(block_dispatch):
     """Dependent loads with instruction fetch modeled (PIB + I-cache)."""
     chip = Chip(ChipConfig())
     base = 0x800
@@ -71,7 +83,8 @@ def test_pointer_chase_golden():
             base + 4 * i, base + 4 * ((i + 1) % 16)
         )
     source = "addi r5, r0, 2048\n" + "lw r5, 0(r5)\n" * 9 + "halt\n"
-    interpreter = Interpreter(chip, model_fetch=True)
+    interpreter = Interpreter(chip, model_fetch=True,
+                              block_dispatch=block_dispatch)
     state = interpreter.add_thread(0, assemble(source))
     final = interpreter.run()
     assert (final, max(state.ready)) == (101, 106)

@@ -119,6 +119,135 @@ def test_interpreter_matches_reference(instructions, init_regs):
     assert cycles >= len(instructions) - 1
 
 
+# ---------------------------------------------------------------------------
+# Block-dispatch differential fuzzing
+#
+# Basic-block superinstructions (repro.isa.blocks) must be a pure
+# host-side optimization: any program, under either dispatcher, must
+# produce identical cycles, registers, scoreboard, counters, and memory.
+# The strategy below goes beyond straight-line ALU work on purpose —
+# forward branches carve unpredictable block shapes, memory/FPU/atomic/
+# SPR instructions pin the mid-block yield protocol, and `tid`/`sync`/
+# `nop` cover the system ops.
+# ---------------------------------------------------------------------------
+_FPU_FUZZ_OPS = ("fadd", "fsub", "fmul", "fmadd", "fmsub",
+                 "fneg", "fabs", "fmov", "fcmplt", "fcmpeq")
+_MEM_FUZZ_OPS = ("lw", "sw", "lhu", "sh", "lbu", "sb", "ld", "sd")
+#: Destinations exclude r8/r9, which anchor the memory base addresses.
+_DEST_REGS = tuple(r for r in range(16) if r not in (8, 9))
+
+
+@st.composite
+def mixed_programs(draw):
+    """Programs with branches, memory, FPU, atomic, and SPR traffic.
+
+    Branches only jump forward, so every program terminates. Memory
+    ops index off r8/r9 (preset to disjoint backing regions by the
+    test) with 8-byte-aligned immediates, so doubles stay aligned.
+    """
+    n = draw(st.integers(3, 24))
+    body = []
+    for i in range(n):
+        kind = draw(st.sampled_from(
+            ["alu", "alu", "mem", "fpu", "branch", "atomic", "sys"]
+        ))
+        if kind == "branch" and i >= n - 1:
+            kind = "sys"  # no room left for a forward target
+        if kind == "alu":
+            name = draw(st.sampled_from(sorted(_R_OPS)))
+            body.append(Instruction(
+                opcode(name), rd=draw(st.sampled_from(_DEST_REGS)),
+                ra=draw(st.integers(0, 15)), rb=draw(st.integers(0, 15)),
+            ))
+        elif kind == "mem":
+            name = draw(st.sampled_from(_MEM_FUZZ_OPS))
+            rd = draw(st.sampled_from(range(10, 31, 2))) \
+                if name in ("ld", "sd") \
+                else draw(st.sampled_from(_DEST_REGS))
+            body.append(Instruction(
+                opcode(name), rd=rd, ra=draw(st.sampled_from((8, 9))),
+                imm=8 * draw(st.integers(0, 63)),
+            ))
+        elif kind == "fpu":
+            name = draw(st.sampled_from(_FPU_FUZZ_OPS))
+            pairs = range(10, 31, 2)
+            rd = draw(st.sampled_from(_DEST_REGS)) \
+                if name in ("fcmplt", "fcmpeq") \
+                else draw(st.sampled_from(pairs))
+            body.append(Instruction(
+                opcode(name), rd=rd, ra=draw(st.sampled_from(pairs)),
+                rb=draw(st.sampled_from(pairs)),
+            ))
+        elif kind == "branch":
+            name = draw(st.sampled_from(("beq", "bne", "blt", "bgeu")))
+            # Forward only, never past the trailing halt at index n:
+            # target = i + 1 + imm must stay <= n.
+            body.append(Instruction(
+                opcode(name), ra=draw(st.integers(0, 15)),
+                rb=draw(st.integers(0, 15)),
+                imm=draw(st.integers(1, n - i - 1)),
+            ))
+        elif kind == "atomic":
+            name = draw(st.sampled_from(
+                ("amoadd", "amoswap", "amoand", "amoor")
+            ))
+            body.append(Instruction(
+                opcode(name), rd=draw(st.sampled_from(_DEST_REGS)),
+                ra=draw(st.sampled_from((8, 9))),
+                rb=draw(st.integers(0, 15)),
+            ))
+        else:
+            name = draw(st.sampled_from(("tid", "sync", "nop", "mtspr")))
+            body.append(Instruction(
+                opcode(name), rd=draw(st.sampled_from(_DEST_REGS)),
+                ra=draw(st.integers(0, 15)),
+            ))
+    body.append(Instruction(opcode("halt")))
+    return body
+
+
+def _run_dispatch(instructions, init_regs, init_doubles, model_fetch,
+                  block_dispatch):
+    program = Program(instructions=list(instructions))
+    chip = Chip()
+    interp = Interpreter(chip, model_fetch=model_fetch,
+                         block_dispatch=block_dispatch)
+    state = interp.add_thread(
+        0, program, init_regs=dict(init_regs),
+        init_doubles=dict(init_doubles),
+    )
+    cycles = interp.run()
+    c = state.tu.counters
+    return {
+        "cycles": cycles,
+        "regs": [state.regs.read(r) for r in range(64)],
+        "ready": list(state.ready),
+        "counters": (c.instructions, c.run_cycles, c.stall_cycles,
+                     c.stall_events, c.loads, c.stores, c.flops,
+                     c.finish_time),
+        "memory": bytes(chip.memory.backing.read_block(0x8000, 0x2200)),
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(mixed_programs(),
+       st.dictionaries(st.integers(1, 15), st.integers(0, _U32),
+                       max_size=8),
+       st.dictionaries(st.sampled_from(range(10, 31, 2)),
+                       st.floats(-1e6, 1e6, allow_nan=False),
+                       max_size=6),
+       st.booleans())
+def test_block_dispatch_differential(instructions, init_regs,
+                                     init_doubles, model_fetch):
+    init_regs = {**init_regs, 8: 0x8000, 9: 0x9000}
+    results = [
+        _run_dispatch(instructions, init_regs, init_doubles,
+                      model_fetch, block_dispatch)
+        for block_dispatch in (False, True)
+    ]
+    assert results[0] == results[1]
+
+
 @settings(max_examples=20, deadline=None)
 @given(straightline_programs())
 def test_encode_decode_preserves_execution(instructions):
