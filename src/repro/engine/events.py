@@ -71,6 +71,26 @@ class EventQueue:
             return
         heappush(self._heap, (time, next(self._seq), payload))
 
+    def push_front(self, time: int, payload: Any) -> None:
+        """Schedule *payload* at *time*, ahead of every event already
+        queued at that time.
+
+        The one sanctioned exception to FIFO tie-breaking: a parallel-DES
+        domain re-queues a gated mailbox poll exactly where it was popped
+        from, so same-cycle events that originally sat behind it still
+        run after it (see :meth:`Scheduler.wake`).
+        """
+        if self.n == 0 or time < self.next_time:
+            self.next_time = time
+        self.n += 1
+        if self._ready and time == self._ready_time:
+            self._ready.appendleft(payload)
+            return
+        # Negative sequence numbers sort ahead of every normal push at
+        # the same time; the magnitude still comes from the shared
+        # counter so later front-pushes do not collide.
+        heappush(self._heap, (time, -next(self._seq), payload))
+
     def pop(self) -> tuple[int, Any]:
         """Remove and return the earliest ``(time, payload)``."""
         ready = self._ready
@@ -111,6 +131,15 @@ class EventQueue:
         if self.n == 0:
             raise IndexError("peek into an empty event queue")
         return self.next_time
+
+    def peek_time_or(self, default: int) -> int:
+        """Earliest scheduled time, or *default* when the queue is empty.
+
+        The safe-time horizon computation of :mod:`repro.pdes` calls
+        this every synchronization round; the explicit default avoids an
+        exception-driven control flow on the empty-domain path.
+        """
+        return self.next_time if self.n else default
 
     def drain(self) -> Iterator[tuple[int, Any]]:
         """Pop everything in time order (useful in tests)."""

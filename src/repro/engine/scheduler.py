@@ -83,6 +83,13 @@ class Scheduler:
         #: Optional telemetry hook ``probe(queue_depth, now)`` called once
         #: per resumption; ``None`` (the default) costs one branch.
         self.probe: Callable[[int, int], None] | None = None
+        #: Cooperative window stop: a process may set this (and then
+        #: park) to make :meth:`run` return before popping the next
+        #: event. Used by the parallel-DES layer to end a domain window
+        #: at a gated mailbox poll without disturbing time order —
+        #: everything already run stays run, everything queued stays
+        #: queued. Always cleared when :meth:`run` returns.
+        self.stop = False
 
     # ------------------------------------------------------------------
     # Process lifecycle
@@ -102,8 +109,15 @@ class Scheduler:
         self.queue.push(process.time, process)
         return process
 
-    def wake(self, process: Process, time: int) -> None:
-        """Unpark *process* and schedule it at *time*."""
+    def wake(self, process: Process, time: int, *,
+             front: bool = False) -> None:
+        """Unpark *process* and schedule it at *time*.
+
+        ``front=True`` re-queues it ahead of every event already queued
+        at *time* — used by the parallel-DES layer to resume a gated
+        mailbox poll in its original position relative to same-cycle
+        peers (it was popped first; it must still run first).
+        """
         if not process.blocked:
             raise SimulationError(f"{process.name} is not blocked")
         if time < self.now:
@@ -114,16 +128,25 @@ class Scheduler:
         process.time = time
         self._n_parked -= 1
         self._parked_processes.discard(process)
-        self.queue.push(time, process)
+        if front:
+            self.queue.push_front(time, process)
+        else:
+            self.queue.push(time, process)
 
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self, until: int | None = None) -> int:
+    def run(self, until: int | None = None, *,
+            allow_parked: bool = False) -> int:
         """Run until no runnable process remains (or past *until* cycles).
 
         Returns the final simulated time. Raises :class:`DeadlockError`
-        if live processes remain parked with nothing left to wake them.
+        if live processes remain parked with nothing left to wake them —
+        unless ``allow_parked`` is set, which is how a parallel-DES
+        domain runs a bounded window: its queue may legitimately drain
+        while threads are parked waiting on messages from *other*
+        domains, and only the coordinator can tell that apart from a
+        real deadlock (see :mod:`repro.pdes`).
         """
         queue = self.queue
         probe = self.probe  # hoisted: attach probes before run(), not during
@@ -135,6 +158,8 @@ class Scheduler:
         # millions-of-events scale (see docs/performance.md).
         try:
             while queue.n:
+                if self.stop:
+                    break
                 if until is not None and queue.next_time > until:
                     self.now = until
                     return self.now
@@ -196,8 +221,9 @@ class Scheduler:
                         f"expected int time or BLOCK"
                     )
         finally:
+            self.stop = False
             self.steps += steps
-        if self._n_parked and self._n_live:
+        if self._n_parked and self._n_live and not allow_parked:
             names = sorted(p.name for p in self._parked_processes)
             shown = ", ".join(names[:8])
             if len(names) > 8:

@@ -86,3 +86,11 @@ class JobError(CyclopsError):
 
 class ServeError(CyclopsError):
     """A serving-layer failure: bad request, rejected submission, protocol."""
+
+
+class PdesError(SimulationError):
+    """The parallel-DES layer cannot partition or run this simulation."""
+
+
+class PdesCrashError(PdesError):
+    """A domain process of a parallel run died (crash or lost transport)."""

@@ -93,6 +93,24 @@ class JobEvent:
 # ---------------------------------------------------------------------------
 # Worker process
 # ---------------------------------------------------------------------------
+def kill_process(process, grace: float = 1.0) -> None:
+    """Terminate *process*, escalating to SIGKILL after *grace* seconds.
+
+    The one sanctioned way to take down a simulation child anywhere in
+    the tree — the worker pool here and the parallel-DES coordinator
+    (:mod:`repro.pdes.coordinator`) both use it, so escalation policy
+    lives in one place.
+    """
+    if process.ident is None:
+        return  # never started (e.g. spawn itself failed) — nothing to kill
+    if process.is_alive():
+        process.terminate()
+    process.join(grace)
+    if process.is_alive():
+        process.kill()
+        process.join(grace)
+
+
 def _worker_main(task_queue, result_queue) -> None:
     """Worker loop: pull ``(index, attempt, spec_dict)``, push results.
 
@@ -221,11 +239,7 @@ class JobRunner:
         self._finish_error(results, state, CANCELLED)
 
     def _kill_worker(self, worker: "_Worker") -> None:
-        worker.process.terminate()
-        worker.process.join(1.0)
-        if worker.process.is_alive():
-            worker.process.kill()
-            worker.process.join(1.0)
+        kill_process(worker.process)
 
     # ------------------------------------------------------------------
     def _emit(self, kind: str, index: int, spec: JobSpec | None = None,

@@ -1,0 +1,187 @@
+"""The parent-side transport and lifecycle of a parallel run.
+
+The coordinator spawns one process per domain, owns one inbox queue per
+domain plus a single upstream queue, and does four things:
+
+* **route** — forward ``msg`` items to the destination domain's inbox
+  and broadcast ``null`` promises / ``nullreq`` requests along the
+  partition's channel graph;
+* **terminate** — a domain reports ``idle`` (empty queue, nothing
+  pending) tagged with how many messages it has consumed; when every
+  domain is idle *and* has consumed everything routed to it, no event
+  can ever fire again, so the coordinator broadcasts ``finish`` and
+  collects results. Idle reports are keyed by consumption count, which
+  closes the classic race of a message crossing an idle report in
+  flight.
+* **watch** — a domain process dying without an ``error`` report (a
+  crash, an ``os._exit``) is detected by liveness polling; the whole
+  cohort is killed and :class:`PdesCrashError` raised, which the caller
+  may retry once (the protocol is deterministic, so a clean rerun
+  produces identical results) before degrading to serial.
+* **collect** — after ``finish``, each domain ships its slab's final
+  state (memory images, counters, link traffic, blackboard, stats) for
+  the parent to merge.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from queue import Empty
+from typing import Any
+
+from repro.errors import PdesCrashError, PdesError
+from repro.jobs.pool import kill_process
+from repro.pdes.domain import domain_main
+from repro.pdes.partition import PartitionMap
+from repro.pdes.program import CellProgram
+
+#: How often (seconds) the routing loop checks domain processes are alive.
+LIVENESS_PERIOD = 0.25
+
+#: How long to wait for results after broadcasting ``finish``.
+COLLECT_TIMEOUT = 60.0
+
+
+class Coordinator:
+    """Runs one parallel attempt end to end; use a fresh one per attempt."""
+
+    def __init__(self, program: CellProgram, partition: PartitionMap,
+                 timeout: float | None = None) -> None:
+        self.program = program
+        self.partition = partition
+        self.timeout = timeout
+        self.n_domains = partition.n_domains
+        self._ctx = mp.get_context("spawn")
+        self._processes: list[Any] = []
+        self._inboxes: list[Any] = []
+        self._upstream = None
+
+    # ------------------------------------------------------------------
+    def run(self) -> dict[int, dict]:
+        """Execute the protocol; returns ``{domain_id: result dict}``."""
+        ctx = self._ctx
+        program_data = self.program.to_dict()
+        self._inboxes = [ctx.Queue() for _ in range(self.n_domains)]
+        self._upstream = ctx.Queue()
+        self._processes = [
+            ctx.Process(
+                target=domain_main,
+                args=(program_data, domain, self.n_domains,
+                      self.partition.lookahead, self._inboxes[domain],
+                      self._upstream),
+                name=f"pdes-domain-{domain}",
+                daemon=True,
+            )
+            for domain in range(self.n_domains)
+        ]
+        try:
+            for process in self._processes:
+                process.start()
+            self._route_until_quiescent()
+            return self._collect_results()
+        finally:
+            self._shutdown()
+
+    # ------------------------------------------------------------------
+    def _route_until_quiescent(self) -> None:
+        routed_msgs = [0] * self.n_domains
+        idle: list[dict | None] = [None] * self.n_domains
+        last_liveness = time.monotonic()
+        started = last_liveness
+        while True:
+            try:
+                item = self._upstream.get(timeout=LIVENESS_PERIOD)
+            except Empty:
+                item = None
+            now = time.monotonic()
+            if now - last_liveness >= LIVENESS_PERIOD:
+                last_liveness = now
+                self._check_alive()
+            if self.timeout is not None and now - started > self.timeout:
+                raise PdesCrashError(
+                    f"parallel run exceeded {self.timeout:.0f}s; "
+                    "killing domains"
+                )
+            if item is None:
+                continue
+            kind = item[0]
+            if kind == "msg":
+                _, src_domain, dst_domain, mdict = item
+                self._inboxes[dst_domain].put(("msg", src_domain, mdict))
+                routed_msgs[dst_domain] += 1
+            elif kind == "null":
+                _, src_domain, promise = item
+                for peer in self.partition.out_channels(src_domain):
+                    self._inboxes[peer].put(("null", src_domain, promise))
+            elif kind == "nullreq":
+                _, src_domain = item
+                for peer in self.partition.in_channels(src_domain):
+                    self._inboxes[peer].put(("nullreq",))
+            elif kind == "idle":
+                _, domain, state = item
+                idle[domain] = state
+                if all(
+                    idle[d] is not None
+                    and idle[d]["received"] == routed_msgs[d]
+                    for d in range(self.n_domains)
+                ):
+                    return
+            elif kind == "error":
+                _, domain, trace = item
+                raise PdesError(
+                    f"domain {domain} failed:\n{trace}"
+                )
+            elif kind == "result":
+                raise PdesError(
+                    f"protocol violation: unsolicited result from "
+                    f"domain {item[1]}"
+                )
+
+    def _collect_results(self) -> dict[int, dict]:
+        for inbox in self._inboxes:
+            inbox.put(("finish",))
+        results: dict[int, dict] = {}
+        deadline = time.monotonic() + COLLECT_TIMEOUT
+        while len(results) < self.n_domains:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                missing = sorted(set(range(self.n_domains)) - set(results))
+                raise PdesCrashError(
+                    f"domains {missing} never returned results"
+                )
+            try:
+                item = self._upstream.get(timeout=min(remaining,
+                                                      LIVENESS_PERIOD))
+            except Empty:
+                self._check_alive(pending=set(results))
+                continue
+            kind = item[0]
+            if kind == "result":
+                results[item[1]] = item[2]
+            elif kind == "error":
+                raise PdesError(f"domain {item[1]} failed:\n{item[2]}")
+            # late msg/null/idle traffic is harmless here: every domain
+            # already proved quiescent, these are protocol echoes.
+        return results
+
+    def _check_alive(self, pending: set[int] | None = None) -> None:
+        for domain, process in enumerate(self._processes):
+            if pending is not None and domain in pending:
+                continue
+            if not process.is_alive() and process.exitcode not in (0, None):
+                raise PdesCrashError(
+                    f"domain process {domain} died with exit code "
+                    f"{process.exitcode}"
+                )
+
+    def _shutdown(self) -> None:
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            kill_process(process, grace=5.0)
+        for queue in [*self._inboxes, self._upstream]:
+            if queue is not None:
+                queue.close()
+                queue.cancel_join_thread()

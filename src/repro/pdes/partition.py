@@ -1,0 +1,107 @@
+"""Partitioning a chip mesh into parallel-DES domains.
+
+Domains are contiguous slabs of the linear (x-major) chip order — the
+same order :meth:`Topology.index` defines — so neighbouring chips tend
+to share a domain and only slab faces generate cross-domain traffic.
+The partition also precomputes the channel graph (which domains can
+send to which, via the topology's link adjacency) that the conservative
+synchronization protocol needs: a domain's safe horizon is the minimum
+over its in-channels of the channel clock plus the lookahead.
+
+The lookahead is physical, from Table 2's link model: a message leaving
+a chip at cycle ``t`` cannot reach a neighbour before ``t + 1``
+serialization cycle ``+ HOP_LATENCY`` router cycles (see
+:meth:`LinkFabric.min_hop_latency_cycles`). That bound holds for every
+message regardless of size or contention, which is what makes the
+null-message protocol exact rather than approximate.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PdesError
+from repro.system.topology import Coord, Topology
+
+
+class PartitionMap:
+    """Assignment of every chip to one of ``n_domains`` slabs."""
+
+    def __init__(self, topology: Topology, n_domains: int,
+                 lookahead: int) -> None:
+        n_chips = topology.n_chips
+        if n_domains < 2:
+            raise PdesError(f"n_domains={n_domains} is not a partition")
+        if n_domains > n_chips:
+            raise PdesError(
+                f"cannot split {n_chips} chip(s) into {n_domains} domains"
+            )
+        if lookahead < 1:
+            raise PdesError(f"lookahead={lookahead} must be positive")
+        self.topology = topology
+        self.n_domains = n_domains
+        self.lookahead = lookahead
+        # Balanced contiguous split of linear chip ids: the first
+        # (n_chips % n_domains) slabs get one extra chip.
+        base, extra = divmod(n_chips, n_domains)
+        self.domain_of_index: list[int] = []
+        for domain in range(n_domains):
+            count = base + (1 if domain < extra else 0)
+            self.domain_of_index.extend([domain] * count)
+        # Channel graph from link adjacency: domain a has a channel into
+        # domain b when some chip of a links directly to some chip of b.
+        # Multi-hop routes add no edges — a cross-domain send is only
+        # legal when every link of its route leaves the sender's domain
+        # (validated per message, see check_route), so the terminal hop
+        # is always between adjacent chips of the two domains.
+        ins: list[set[int]] = [set() for _ in range(n_domains)]
+        outs: list[set[int]] = [set() for _ in range(n_domains)]
+        for index in range(n_chips):
+            src_domain = self.domain_of_index[index]
+            coord = topology.coord(index)
+            for neighbour in topology.neighbours(coord).values():
+                dst_domain = self.domain_of(neighbour)
+                if dst_domain != src_domain:
+                    outs[src_domain].add(dst_domain)
+                    ins[dst_domain].add(src_domain)
+        self._in_channels = [sorted(s) for s in ins]
+        self._out_channels = [sorted(s) for s in outs]
+
+    # ------------------------------------------------------------------
+    def domain_of(self, coord: Coord) -> int:
+        """The domain owning the chip at *coord*."""
+        return self.domain_of_index[self.topology.index(coord)]
+
+    def owned(self, domain: int) -> list[Coord]:
+        """The chips a domain simulates, in linear order."""
+        return [self.topology.coord(i)
+                for i, d in enumerate(self.domain_of_index) if d == domain]
+
+    def in_channels(self, domain: int) -> list[int]:
+        """Domains that can send messages into *domain*."""
+        return self._in_channels[domain]
+
+    def out_channels(self, domain: int) -> list[int]:
+        """Domains that *domain* can send messages to."""
+        return self._out_channels[domain]
+
+    def check_route(self, src: Coord, dst: Coord) -> None:
+        """Reject sends whose route reserves links this domain's replica
+        cannot account for.
+
+        Link timelines are replicated per domain and advanced only by
+        the owner's traffic. A route is exact when every link on it
+        leaves a chip of the *sender's* domain (single-hop neighbour
+        traffic always qualifies; so do multi-hop routes that stay
+        inside the slab until the final hop). Anything else would
+        reserve a foreign link on a stale replica — wrong timing, so
+        the parallel attempt aborts and the run falls back to serial.
+        """
+        sender = self.domain_of(src)
+        for hop_src, direction in self.topology.route(src, dst):
+            if self.domain_of(hop_src) != sender:
+                raise PdesError(
+                    f"route {src}->{dst} reserves the {direction} link "
+                    f"out of {hop_src}, owned by domain "
+                    f"{self.domain_of(hop_src)} (sender is domain "
+                    f"{sender}); this traffic pattern cannot be "
+                    f"partitioned exactly"
+                )

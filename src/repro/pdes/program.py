@@ -1,0 +1,94 @@
+"""Programs-as-data for partitionable multi-chip simulations.
+
+The parallel-DES layer runs each domain in its own host process, so
+whatever populates a :class:`~repro.system.multichip.MultiChipSystem`
+— allocations, initial data, thread spawns — must be *reconstructible*
+over there, not a live closure in the parent's heap. A
+:class:`CellProgram` is that reconstruction recipe: topology, chip
+configuration, allocation policy, routing mode, and a ``setup`` task
+named ``"module:function"`` (the same convention :mod:`repro.jobs`
+uses), all JSON-safe.
+
+The setup task runs once in the serial parent and once in *every*
+domain process, against identical fresh systems; since the kernel's bump
+allocator and the policy's thread binding are deterministic, every
+replica computes identical addresses and timelines. Domain processes
+differ only in which cells they actually execute — spawns and host
+loads on foreign cells are filtered by ownership (see
+:meth:`MultiChipSystem.spawn_on`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.config import ChipConfig
+from repro.configio import config_from_dict
+from repro.errors import PdesError
+from repro.jobs.spec import jsonify, resolve_task
+from repro.runtime.kernel import AllocationPolicy
+from repro.system.topology import Topology, TorusTopology
+
+
+@dataclass(frozen=True)
+class CellProgram:
+    """A multi-chip workload as plain data.
+
+    ``setup`` names a module-level function ``setup(system, payload)``
+    that allocates memory, stages input data, and spawns the per-cell
+    thread bodies. It must be importable in any process — never a
+    lambda or a test-local closure.
+    """
+
+    nx: int
+    ny: int
+    nz: int = 1
+    torus: bool = False
+    config: dict | None = None
+    policy: str = AllocationPolicy.SEQUENTIAL.value
+    routing: str = "store_and_forward"
+    setup: str = ""
+    payload: dict = field(default_factory=dict)
+
+    # -- reconstruction -------------------------------------------------
+    def make_topology(self) -> Topology:
+        cls = TorusTopology if self.torus else Topology
+        return cls(self.nx, self.ny, self.nz)
+
+    def chip_config(self) -> ChipConfig | None:
+        return config_from_dict(self.config) if self.config else None
+
+    def allocation_policy(self) -> AllocationPolicy:
+        return AllocationPolicy(self.policy)
+
+    def run_setup(self, system) -> None:
+        """Run the setup task against *system* (parent or domain)."""
+        if not self.setup:
+            raise PdesError("CellProgram has no setup task")
+        func = resolve_task(self.setup)
+        func(system, dict(self.payload))
+
+    # -- serialization (what crosses the domain-process boundary) -------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "nx": self.nx, "ny": self.ny, "nz": self.nz,
+            "torus": self.torus,
+            "config": jsonify(self.config) if self.config else None,
+            "policy": self.policy,
+            "routing": self.routing,
+            "setup": self.setup,
+            "payload": jsonify(self.payload),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CellProgram":
+        return cls(
+            nx=int(data["nx"]), ny=int(data["ny"]), nz=int(data["nz"]),
+            torus=bool(data.get("torus", False)),
+            config=data.get("config"),
+            policy=data.get("policy", AllocationPolicy.SEQUENTIAL.value),
+            routing=data.get("routing", "store_and_forward"),
+            setup=data["setup"],
+            payload=dict(data.get("payload") or {}),
+        )

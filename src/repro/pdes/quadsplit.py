@@ -1,0 +1,187 @@
+"""Quad-level partitioning: shard one chip into independent sub-chips.
+
+The chip-level axis of :mod:`repro.pdes` needs a multi-chip system to
+cut; this module provides the *intra-chip* axis the tentpole names. A
+Cyclops chip is itself cellular — quads share nothing but the memory
+switch — so a workload whose threads touch disjoint data (STREAM in
+``independent`` mode) can be split into ``N`` sub-chips, each with
+``1/N`` of the thread units and memory banks, and the shards simulated
+in separate host processes through the fault-tolerant
+:class:`repro.jobs.JobRunner` pool (crashes respawn workers and retry,
+exactly as for any other job).
+
+Unlike the chip-level protocol there is no cross-domain traffic at all,
+so no null messages and no lookahead: the exactness contract is
+*parallel-vs-serial on the same sharded model* — running the shard
+specs inline (``JobRunner()``'s default) and running them pooled
+produce byte-identical values, which is what the differential test
+pins. The sharded model itself differs from the monolithic chip (fewer
+banks per shard shift bank conflicts), which is why sharding is opt-in
+here rather than a transparent fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.config import ChipConfig
+from repro.configio import config_from_dict, config_to_dict
+from repro.errors import PdesError
+from repro.jobs import JobRunner, JobSpec
+from repro.workloads.stream import StreamParams, run_stream
+
+
+def split_config(config: ChipConfig, shards: int) -> ChipConfig:
+    """The sub-chip configuration for one shard of *config*.
+
+    Thread units and memory banks divide evenly; per-quad resources
+    (FPU, D-cache) follow the quads. The kernel's reserved threads stay
+    with the parent model: a shard is all software threads.
+    """
+    if shards < 1:
+        raise PdesError(f"need at least one shard, got {shards}")
+    if config.n_threads % shards:
+        raise PdesError(
+            f"{config.n_threads} thread units do not split into "
+            f"{shards} shards"
+        )
+    per = config.n_threads // shards
+    if per % config.threads_per_quad:
+        raise PdesError(
+            f"{per} threads per shard is not a whole number of quads "
+            f"(threads_per_quad={config.threads_per_quad})"
+        )
+    if (per // config.threads_per_quad) % config.quads_per_icache:
+        raise PdesError(
+            f"a shard's {per // config.threads_per_quad} quad(s) do not "
+            f"fill whole icache groups "
+            f"(quads_per_icache={config.quads_per_icache})"
+        )
+    if config.n_memory_banks % shards:
+        raise PdesError(
+            f"{config.n_memory_banks} memory banks do not split into "
+            f"{shards} shards"
+        )
+    return replace(
+        config,
+        n_threads=per,
+        n_memory_banks=config.n_memory_banks // shards,
+        reserved_threads=0,
+    )
+
+
+@dataclass
+class ShardedStreamResult:
+    """Merged outcome of a quad-sharded STREAM run."""
+
+    params: StreamParams
+    shards: int
+    #: Slowest shard: the sharded chip is done when its last quad is.
+    cycles: int
+    total_bytes: int
+    bandwidth: float
+    per_thread_bandwidth: list[float] = field(default_factory=list)
+    verified: bool = False
+    memory_traffic_bytes: int = 0
+    #: Raw per-shard task values, in shard order (what the differential
+    #: test compares between inline and pooled execution).
+    shard_values: list[dict] = field(default_factory=list)
+
+
+def _stream_shard_task(spec: JobSpec) -> dict:
+    """Jobs-pool task: run one shard's STREAM slice on its sub-chip."""
+    from repro.runtime.kernel import AllocationPolicy
+
+    payload = dict(spec.payload)
+    payload.pop("shard", None)
+    payload["policy"] = AllocationPolicy(payload["policy"])
+    params = StreamParams(**payload)
+    config = config_from_dict(spec.config) if spec.config else None
+    result = run_stream(params, config)
+    return {
+        "cycles": result.cycles,
+        "total_bytes": result.total_bytes,
+        "bandwidth": result.bandwidth,
+        "per_thread_bandwidth": list(result.per_thread_bandwidth),
+        "verified": bool(result.verified),
+        "memory_traffic_bytes": result.memory_traffic_bytes,
+    }
+
+
+def shard_specs(params: StreamParams, config: ChipConfig,
+                shards: int) -> list[JobSpec]:
+    """The shard jobs for *params* over *shards* sub-chips.
+
+    Only ``independent`` block-partitioned STREAM shards cleanly: each
+    thread owns its vectors, so assigning threads to sub-chips moves no
+    data across a shard boundary.
+    """
+    if not params.independent:
+        raise PdesError(
+            "quad sharding requires independent-mode STREAM: shared "
+            "vectors would couple the shards through memory"
+        )
+    if params.n_threads % shards:
+        raise PdesError(
+            f"{params.n_threads} workload threads do not split into "
+            f"{shards} shards"
+        )
+    sub = split_config(config, shards)
+    sub_dict = config_to_dict(sub)
+    per = params.n_threads // shards
+    specs = []
+    for s in range(shards):
+        specs.append(JobSpec(
+            task="repro.pdes.quadsplit:_stream_shard_task",
+            payload={
+                "kernel": params.kernel,
+                "n_elements": params.n_elements,
+                "n_threads": per,
+                "partition": params.partition,
+                "local_caches": params.local_caches,
+                "policy": params.policy.value,
+                "unroll": params.unroll,
+                "independent": True,
+                "warmup": params.warmup,
+                "verify": params.verify,
+                "shard": s,
+            },
+            config=sub_dict,
+        ))
+    return specs
+
+
+def run_stream_sharded(params: StreamParams,
+                       config: ChipConfig | None = None,
+                       shards: int = 2,
+                       runner: JobRunner | None = None,
+                       ) -> ShardedStreamResult:
+    """Run *params* as *shards* sub-chip jobs and merge the results.
+
+    ``runner=None`` executes the shards inline (serial, in-process);
+    passing a pooled :class:`JobRunner` runs them in worker processes
+    with the pool's respawn-and-retry fault tolerance. Both paths
+    produce byte-identical shard values.
+    """
+    specs = shard_specs(params, config or ChipConfig.paper(), shards)
+    values = (runner or JobRunner()).map(specs)
+    cycles = max(v["cycles"] for v in values)
+    config = config or ChipConfig.paper()
+    total_bytes = sum(v["total_bytes"] for v in values)
+    per_thread: list[float] = []
+    for v in values:
+        per_thread.extend(v["per_thread_bandwidth"])
+    return ShardedStreamResult(
+        params=params,
+        shards=shards,
+        cycles=cycles,
+        total_bytes=total_bytes,
+        # The sharded chip's aggregate rate: all shards run concurrently
+        # and the convention counts total bytes over the slowest shard.
+        bandwidth=total_bytes * config.clock_hz / max(1, cycles),
+        per_thread_bandwidth=per_thread,
+        verified=all(v["verified"] for v in values),
+        memory_traffic_bytes=sum(v["memory_traffic_bytes"]
+                                 for v in values),
+        shard_values=list(values),
+    )

@@ -21,9 +21,13 @@ The response is a newline-delimited JSON **event stream**
 key. The stream a client sees is::
 
     accepted                      request admitted; job count breakdown
-    hit | start/done/error/...    per-job progress, in wall-clock order
+    hit | dedup | start/done/...  per-job progress, in wall-clock order
     result (one per job)          value or error, in request-index order
     complete                      summary; always the last line
+
+A ``dedup`` line marks a job that attached to an identical spec already
+in flight for another request — it produces a ``result`` like any other
+job, but no new pool work ran for it.
 
 Rejections (admission control) and malformed requests never start a
 stream — they are plain JSON bodies under a ``429``/``400``/``503``

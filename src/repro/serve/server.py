@@ -140,6 +140,12 @@ class SimServer:
         self._queue: asyncio.Queue[_Entry | None] | None = None
         self._handlers: set[asyncio.Task] = set()
         self._routing: list[_Entry] | None = None
+        #: In-flight dedup map: spec fingerprint -> the future of the
+        #: one pool job running it. Identical cold specs arriving while
+        #: that job is queued or running attach to the same future
+        #: instead of submitting again (the request-level analogue of
+        #: the result cache, for work too fresh to be cached yet).
+        self._inflight: dict[str, asyncio.Future] = {}
         self._queued_jobs = 0
         self._active_clients: dict[str, int] = {}
         self._active_requests = 0
@@ -278,6 +284,11 @@ class SimServer:
             if not entry.future.done():
                 entry.future.set_result(result)
         self.metrics.gauge("serve.queue_depth").set(self._queued_jobs)
+
+    def _release_inflight(self, fingerprint: str, future) -> None:
+        """Drop a resolved job from the dedup map (done callback)."""
+        if self._inflight.get(fingerprint) is future:
+            del self._inflight[fingerprint]
 
     def _on_job_event(self, job_event: JobEvent) -> None:
         """Forward pool progress to the owning request (worker thread)."""
@@ -496,6 +507,7 @@ class SimServer:
         pending: dict[int, asyncio.Future] = {}
         gather: asyncio.Future | None = None
         enqueued = 0
+        followed = 0
         try:
             await self._begin_stream(writer)
             await self._write_event(writer, event(
@@ -506,6 +518,21 @@ class SimServer:
                 await self._write_event(writer,
                                         result_document(index, result))
             for index, spec in cold:
+                fingerprint = spec.fingerprint()
+                shared = self._inflight.get(fingerprint)
+                if shared is not None and not shared.done():
+                    # Another request is already running this exact
+                    # spec: follow its future. The follower holds no
+                    # queue slot, so release the reservation taken for
+                    # it above.
+                    pending[index] = shared
+                    followed += 1
+                    self._queued_jobs -= 1
+                    self.metrics.counter("serve.jobs",
+                                         outcome="dedup").inc()
+                    await self._write_event(writer,
+                                            event("dedup", index=index))
+                    continue
                 future = self._loop.create_future()
                 pending[index] = future
                 if self._closing:
@@ -516,6 +543,10 @@ class SimServer:
                     future.set_result(JobResult(
                         spec, error="server is shutting down"))
                 else:
+                    self._inflight[fingerprint] = future
+                    future.add_done_callback(
+                        lambda done, fp=fingerprint:
+                        self._release_inflight(fp, done))
                     await self._queue.put(
                         _Entry(spec, index, events, future))
                     enqueued += 1
@@ -553,7 +584,7 @@ class SimServer:
             # vanished before the enqueue loop, or shutdown) still
             # hold queue reservations; only _run_batch releases the
             # enqueued ones, so release the remainder here.
-            stranded = len(cold) - enqueued
+            stranded = len(cold) - enqueued - followed
             if stranded:
                 self._queued_jobs -= stranded
                 self.metrics.gauge("serve.queue_depth").set(

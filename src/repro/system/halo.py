@@ -8,36 +8,56 @@ links. This is exactly the communication pattern the paper's
 target applications (molecular dynamics, linear algebra) use at system
 scale, and it weak-scales: the per-cell work is constant while the
 system grows.
+
+The workload is expressed as a :class:`~repro.pdes.program.CellProgram`
+— population happens in a module-level ``halo_setup`` task and results
+come back through the system blackboard — so the same run can execute
+serially or partitioned across host processes
+(``run_halo(..., domains=N)``) with byte-identical results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.config import ChipConfig
+from repro.configio import config_to_dict
 from repro.errors import WorkloadError
+from repro.pdes.program import CellProgram
 from repro.runtime.kernel import AllocationPolicy
 from repro.system.multichip import MultiChipSystem
-from repro.system.topology import Topology
-from repro.workloads.common import TimedSection, block_ranges
+from repro.workloads.common import block_ranges
 
 
 @dataclass(frozen=True)
 class HaloParams:
-    """One halo-exchange experiment point."""
+    """One halo-exchange experiment point.
+
+    ``mesh_ny > 1`` lays the chain of cells over an
+    ``(n_chips/mesh_ny) x mesh_ny`` mesh in linear (x-major) order:
+    the band decomposition and the data flow are unchanged, but chain
+    neighbours at row boundaries exchange over multi-hop routes —
+    the mesh shapes the benchmarks and the parallel partition use.
+    """
 
     n_chips: int = 2
     band_elements: int = 512     # grid elements per cell
     iterations: int = 3
     threads_per_chip: int = 8
+    mesh_ny: int = 1
 
     def __post_init__(self) -> None:
         if self.n_chips < 1:
             raise WorkloadError("need at least one cell")
         if self.band_elements < 4:
             raise WorkloadError("band too small for a stencil")
+        if self.mesh_ny < 1 or self.n_chips % self.mesh_ny:
+            raise WorkloadError(
+                f"mesh_ny={self.mesh_ny} does not divide "
+                f"n_chips={self.n_chips}"
+            )
 
 
 @dataclass
@@ -48,22 +68,26 @@ class HaloResult:
     cycles: int
     link_bytes: int
     verified: bool
+    #: The system the run left behind (counters, memory, pdes stats);
+    #: what the differential tests compare between serial and parallel.
+    system: MultiChipSystem | None = field(default=None, repr=False)
 
 
 def _cell_body(ctx, system: MultiChipSystem, coord, params: HaloParams,
-               layout, barrier, me: int, section: TimedSection):
+               layout, barrier, me: int):
     """One thread of one cell; thread 0 additionally runs the exchange."""
     base, n = layout["base"], params.band_elements
-    chip = system.chip_at(coord)
-    left = system.topology.step(coord, "-x")
-    right = system.topology.step(coord, "+x")
+    topology = system.topology
+    index = topology.index(coord)
+    # Chain neighbours in linear order; on a 1-D chain these are the
+    # ±x mesh neighbours, on a 2-D mesh the chain wraps row to row.
+    left = topology.coord(index - 1) if index > 0 else None
+    right = topology.coord(index + 1) \
+        if index < params.n_chips - 1 else None
     rows = layout["ranges"][me]
 
-    def ea(i: int) -> int:
-        return ctx.ea(base + 8 * i)
-
     if me == 0:
-        section.record_start(system.topology.index(coord), ctx.time)
+        system.blackboard[f"halo.start:{index}"] = ctx.time
     for _ in range(params.iterations):
         # Local 3-point Jacobi sweep over this thread's slice, reading
         # the previous values buffer and writing the next.
@@ -95,31 +119,25 @@ def _cell_body(ctx, system: MultiChipSystem, coord, params: HaloParams,
                                           from_coord=right)
         yield from barrier.wait(ctx)
     if me == 0:
-        section.record_finish(system.topology.index(coord), ctx.time)
+        system.blackboard[f"halo.finish:{index}"] = ctx.time
+        system.blackboard[f"halo.src:{index}"] = layout["src"]
 
 
-def _reference(global_grid: np.ndarray, iterations: int) -> np.ndarray:
-    grid = global_grid.copy()
-    for _ in range(iterations):
-        nxt = grid.copy()
-        nxt[1:-1] = 0.25 * grid[:-2] + 0.5 * grid[1:-1] + 0.25 * grid[2:]
-        grid = nxt
-    return grid
+def halo_setup(system: MultiChipSystem, payload: dict) -> None:
+    """CellProgram setup task: allocate bands, stage data, spawn teams.
 
-
-def run_halo(params: HaloParams,
-             config: ChipConfig | None = None) -> HaloResult:
-    """Run the halo exchange over a 1-D chain of cells."""
-    topology = Topology(params.n_chips, 1, 1)
-    system = MultiChipSystem(topology, config,
-                             policy=AllocationPolicy.BALANCED)
+    Runs identically in the serial parent and in every domain process
+    of a partitioned run — the bump-heap allocations and the initial
+    grid (seeded rng) are replica-identical, and spawns on foreign
+    cells are filtered by ownership inside :meth:`spawn_on`.
+    """
+    params = HaloParams(**payload)
+    topology = system.topology
     n = params.band_elements
     rng = np.random.default_rng(seed=67)
     global_grid = rng.standard_normal(params.n_chips * n + 2)
     global_grid[0] = global_grid[-1] = 0.0
 
-    section = TimedSection.empty()
-    layouts = []
     for c in range(params.n_chips):
         coord = topology.coord(c)
         kernel = system.kernel_at(coord)
@@ -133,30 +151,79 @@ def run_halo(params: HaloParams,
             "base": src, "src": src, "dst": dst,
             "ranges": [range(r.start + 1, r.stop + 1) for r in interior],
         }
-        layouts.append(layout)
         barrier = kernel.hardware_barrier(0, params.threads_per_chip)
         for t in range(params.threads_per_chip):
             system.spawn_on(coord, _cell_body, system, coord, params,
-                            layout, barrier, t, section,
+                            layout, barrier, t,
                             name=f"halo-{c}-{t}")
-    cycles = system.run()
+
+
+def halo_program(params: HaloParams,
+                 config: ChipConfig | None = None) -> CellProgram:
+    """The halo workload as reconstruction-recipe data."""
+    return CellProgram(
+        nx=params.n_chips // params.mesh_ny, ny=params.mesh_ny, nz=1,
+        config=config_to_dict(config) if config is not None else None,
+        policy=AllocationPolicy.BALANCED.value,
+        setup="repro.system.halo:halo_setup",
+        payload={
+            "n_chips": params.n_chips,
+            "band_elements": params.band_elements,
+            "iterations": params.iterations,
+            "threads_per_chip": params.threads_per_chip,
+            "mesh_ny": params.mesh_ny,
+        },
+    )
+
+
+def _reference(global_grid: np.ndarray, iterations: int) -> np.ndarray:
+    grid = global_grid.copy()
+    for _ in range(iterations):
+        nxt = grid.copy()
+        nxt[1:-1] = 0.25 * grid[:-2] + 0.5 * grid[1:-1] + 0.25 * grid[2:]
+        grid = nxt
+    return grid
+
+
+def run_halo(params: HaloParams, config: ChipConfig | None = None,
+             domains: int | None = None) -> HaloResult:
+    """Run the halo exchange over a 1-D chain of cells.
+
+    ``domains=N`` opts in to the conservative parallel simulation; the
+    result (cycles, counters, memory, link traffic) is byte-identical
+    to the serial run either way.
+    """
+    system = MultiChipSystem.build(halo_program(params, config))
+    system.run(domains=domains)
+
+    topology = system.topology
+    n = params.band_elements
+    starts = [system.blackboard[f"halo.start:{c}"]
+              for c in range(params.n_chips)]
+    finishes = [system.blackboard[f"halo.finish:{c}"]
+                for c in range(params.n_chips)]
+    cycles = max(finishes) - min(starts)
 
     # Verify against the global reference sweep. With an odd number of
     # iterations the halo copies trail the interior by design (exchange
     # happens after the sweep), so compare interiors only after aligning:
     # every cell's interior must equal the reference at `iterations`.
+    rng = np.random.default_rng(seed=67)
+    global_grid = rng.standard_normal(params.n_chips * n + 2)
+    global_grid[0] = global_grid[-1] = 0.0
     expected = _reference(global_grid, params.iterations)
     verified = True
     for c in range(params.n_chips):
         coord = topology.coord(c)
-        src = layouts[c]["src"]
+        src = system.blackboard[f"halo.src:{c}"]
         view = system.chip_at(coord).memory.backing.f64_view(src, n + 2)
         interior_ok = np.allclose(view[1:-1],
                                   expected[c * n + 1:c * n + n + 1])
         verified = verified and bool(interior_ok)
     return HaloResult(
         params=params,
-        cycles=section.elapsed,
+        cycles=cycles,
         link_bytes=system.fabric.total_bytes,
         verified=verified,
+        system=system,
     )

@@ -32,7 +32,8 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
 )
-from repro.telemetry.report import RunReport, build_report, chip_counters
+from repro.telemetry.report import (RunReport, build_report,
+                                    build_system_report, chip_counters)
 
 __all__ = [
     "ChipInstrumentation",
@@ -44,5 +45,6 @@ __all__ = [
     "NULL_METRICS",
     "RunReport",
     "build_report",
+    "build_system_report",
     "chip_counters",
 ]

@@ -142,4 +142,64 @@ def build_report(chip: Chip, workload: str,
     return report
 
 
-__all__ = ["RunReport", "build_report", "chip_counters"]
+def build_system_report(system, workload: str,
+                        params: dict[str, Any] | None = None,
+                        registry=None) -> RunReport:
+    """One :class:`RunReport` for a whole :class:`MultiChipSystem` run.
+
+    Counters aggregate across every chip (threads are keyed
+    ``"chip:tid"``), and when the run executed under :mod:`repro.pdes`
+    the per-domain synchronization totals land in the registry as
+    ``pdes.*`` counters — so a parallel run and its serial twin produce
+    the same report apart from that block.
+    """
+    from repro.telemetry.metrics import MetricsRegistry
+
+    if registry is None:
+        registry = MetricsRegistry()
+    aggregate = ThreadCounters()
+    threads: dict[str, dict[str, int]] = {}
+    for index, chip in enumerate(system.chips):
+        for tu in chip.threads:
+            if not (tu.counters.instructions or tu.counters.run_cycles
+                    or tu.counters.stall_cycles):
+                continue
+            aggregate.merge(tu.counters)
+            threads[f"{index}:{tu.tid}"] = _counters_dict(tu.counters)
+    stats = getattr(system, "pdes_stats", None)
+    if stats:
+        registry.counter("pdes.null_messages").inc(stats["null_messages"])
+        registry.counter("pdes.blocked_time").inc(
+            stats["blocked_seconds"])
+        registry.counter("pdes.messages").inc(stats["messages"])
+        registry.gauge("pdes.domains").set(stats["domains"])
+        for domain, dstats in stats.get("per_domain", {}).items():
+            registry.counter(
+                "pdes.null_messages", domain=domain
+            ).inc(dstats["null_messages"])
+            registry.counter(
+                "pdes.blocked_time", domain=domain
+            ).inc(dstats["blocked_seconds"])
+    cfg = system.config
+    report = RunReport(
+        workload=workload,
+        params=dict(params or {}),
+        config={
+            "n_chips": len(system.chips),
+            "n_threads": cfg.n_threads,
+            "n_quads": cfg.n_quads,
+            "n_banks": cfg.n_memory_banks,
+            "clock_hz": cfg.clock_hz,
+        },
+        elapsed_cycles=system.scheduler.now,
+        aggregate=_counters_dict(aggregate),
+        threads=threads,
+        results={"link_bytes": system.fabric.total_bytes},
+    )
+    if registry.enabled:
+        report.metrics = registry.snapshot()
+    return report
+
+
+__all__ = ["RunReport", "build_report", "build_system_report",
+           "chip_counters"]

@@ -302,6 +302,55 @@ class TestAdmission:
 
 
 # ---------------------------------------------------------------------------
+# In-flight dedup
+# ---------------------------------------------------------------------------
+class TestDedup:
+    def test_concurrent_identical_specs_share_one_pool_job(self, tmp_path):
+        """Two clients, one cold spec in flight: exactly one job runs."""
+        spec = JobSpec(task=SLEEP, payload={"seconds": 0.8})
+        with serve_in_thread(_config(tmp_path, per_client=8)) as server:
+            accepted = threading.Event()
+            first: dict = {}
+
+            def _primary():
+                first["result"] = _client(
+                    server, client_id="alpha").submit_spec(
+                    spec, on_event=lambda doc: accepted.set()
+                    if doc["event"] == "accepted" else None)
+
+            thread = threading.Thread(target=_primary)
+            thread.start()
+            assert accepted.wait(10.0), "primary request never accepted"
+            time.sleep(0.1)  # let the primary's job reach the pool
+            events = []
+            second = _client(server, client_id="beta").submit_spec(
+                spec, on_event=events.append)
+            thread.join()
+            assert "error" not in first["result"]
+            assert "error" not in second
+            assert second["value"] == first["result"]["value"]
+            # The whole point: the second request submitted nothing.
+            assert server.runner.stats["submitted"] == 1
+            assert any(doc["event"] == "dedup" for doc in events)
+            snap = server.metrics.snapshot()["counters"]
+            assert snap['serve.jobs{outcome="dedup"}'] == 1
+            # The follower held no queue slot; accounting drained to 0.
+            assert server._queued_jobs == 0
+
+    def test_sequential_identical_specs_do_not_dedup(self, tmp_path):
+        """Dedup is for in-flight work only; finished jobs leave the
+        map (the cache, not the dedup map, serves repeats)."""
+        spec = JobSpec(task=SQUARE, payload={"n": 7})
+        config = _config(tmp_path, use_cache=False)
+        with serve_in_thread(config) as server:
+            first = _client(server).submit_spec(spec)
+            second = _client(server).submit_spec(spec)
+            assert first["value"] == second["value"] == 49
+            assert server.runner.stats["submitted"] == 2
+            assert not server._inflight
+
+
+# ---------------------------------------------------------------------------
 # Event-stream ordering
 # ---------------------------------------------------------------------------
 class TestEventStream:
