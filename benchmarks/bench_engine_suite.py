@@ -40,6 +40,7 @@ from repro.isa import Interpreter
 from repro.isa.kernels import stream_kernel_program, stream_register_setup
 from repro.memory.address import make_effective
 from repro.memory.interest_groups import IG_ALL
+from repro.sampling import SamplingConfig
 from repro.workloads.fft import FFTParams, run_fft
 from repro.workloads.radix import RadixParams, run_radix
 from repro.workloads.stream import StreamParams, run_stream
@@ -64,16 +65,17 @@ MIN_BLOCK_SPEEDUP = 1.3
 #: regressions without tripping on machine variance).
 REGRESSION_SLACK = 0.20
 
+#: Sampled-mode gates for the paired ISA STREAM rows: the estimate's
+#: cycle error is deterministic (same tolerance as
+#: ``repro.sampling.validate``); the wall-clock floor is deliberately
+#: loose — this suite's rows are smaller than ``bench_sampling.py``'s
+#: (which owns the real 5x gate), so sampling amortizes less here.
+SAMPLING_ERROR_TOLERANCE = 0.02
+MIN_SAMPLING_SPEEDUP = 1.5
 
-def _isa_stream(n_per_thread: int, block_dispatch: bool) -> int:
-    """STREAM triad through the ISA interpreter; returns final cycles.
 
-    Unlike the direct-execution ``run_stream`` rows, this path executes
-    real encoded instructions, so it is the one the basic-block
-    superinstruction compiler (``repro.isa.blocks``) can accelerate.
-    The threaded/blocks pair measures that dispatcher head-to-head on
-    an identical simulation.
-    """
+def _isa_stream_interp(n_per_thread: int, block_dispatch: bool) -> Interpreter:
+    """Build the ISA-interpreter STREAM triad simulation (32 threads)."""
     n_threads = 32
     chip = Chip()
     program = stream_kernel_program("triad", 1)
@@ -90,7 +92,19 @@ def _isa_stream(n_per_thread: int, block_dispatch: bool) -> int:
             make_effective(src2, IG_ALL), make_effective(dst, IG_ALL),
             n_per_thread)
         interp.add_thread(t, program, init_regs, init_doubles)
-    return interp.run()
+    return interp
+
+
+def _isa_stream(n_per_thread: int, block_dispatch: bool) -> int:
+    """STREAM triad through the ISA interpreter; returns final cycles.
+
+    Unlike the direct-execution ``run_stream`` rows, this path executes
+    real encoded instructions, so it is the one the basic-block
+    superinstruction compiler (``repro.isa.blocks``) can accelerate.
+    The threaded/blocks pair measures that dispatcher head-to-head on
+    an identical simulation.
+    """
+    return _isa_stream_interp(n_per_thread, block_dispatch).run()
 
 
 def _suite(quick: bool) -> list[tuple[str, object]]:
@@ -201,6 +215,7 @@ def run_suite(rounds: int = 5, quick: bool = False) -> dict:
             / workloads[threaded]["simulated_cycles_per_sec"]
         ),
     }
+    payload["sampling"] = _sampled_pair(workloads, rounds, quick)
     if baseline_rate and not quick:
         stream_rate = \
             workloads["stream_triad_32t"]["simulated_cycles_per_sec"]
@@ -210,6 +225,55 @@ def run_suite(rounds: int = 5, quick: bool = False) -> dict:
             "stream_speedup": stream_rate / baseline_rate,
         }
     return payload
+
+
+def _sampled_pair(workloads: dict, rounds: int, quick: bool) -> dict:
+    """Measure the ISA STREAM run exact and sampled, side by side.
+
+    The pair uses a larger element count than the dispatcher rows
+    (sampling amortizes over fast-forward, so the run must span several
+    sampling periods) and adds both as ordinary workload rows; the
+    returned section pairs them up with the wall-clock speedup and the
+    measured cycle error of the estimate (``docs/sampled-sim.md``).
+    """
+    n = 1600 if quick else 2000
+    suffix = f"32t_{n * 8}"
+    exact_name = f"isa_stream_triad_{suffix}_sampled_exact"
+    sampled_name = f"isa_stream_triad_{suffix}_sampled"
+    exact_cycles, exact_best = _measure(
+        lambda: _isa_stream(n, block_dispatch=True), rounds)
+
+    estimates = []
+
+    def _sampled_run() -> int:
+        interp = _isa_stream_interp(n, block_dispatch=True)
+        estimate = interp.run_sampled(SamplingConfig())
+        estimates.append(estimate)
+        return estimate.estimated_cycles
+
+    estimated_cycles, sampled_best = _measure(_sampled_run, rounds)
+    estimate = estimates[-1]
+    for name, cycles, best in ((exact_name, exact_cycles, exact_best),
+                               (sampled_name, estimated_cycles,
+                                sampled_best)):
+        workloads[name] = {
+            "benchmark": name,
+            "rounds": rounds,
+            "simulated_cycles": cycles,
+            "best_host_seconds": best,
+            "simulated_cycles_per_sec": cycles / best,
+        }
+    return {
+        "exact": exact_name,
+        "sampled": sampled_name,
+        "exact_cycles": exact_cycles,
+        "estimated_cycles": estimated_cycles,
+        "ci_low": estimate.ci_low,
+        "ci_high": estimate.ci_high,
+        "n_units": estimate.n_units,
+        "error": (estimated_cycles - exact_cycles) / exact_cycles,
+        "speedup": exact_best / sampled_best,
+    }
 
 
 def _baseline_rate() -> float | None:
@@ -256,6 +320,26 @@ def check_regression(payload: dict, committed_path: pathlib.Path) -> list[str]:
             f"{super_['block_speedup']:.2f}x threaded dispatch "
             f"(required {MIN_BLOCK_SPEEDUP:.1f}x)"
         )
+
+    # The sampled-mode gates: the estimate must stay within the shared
+    # error tolerance of the exact run *measured in the same process*,
+    # and sampling must actually pay for itself in wall-clock terms
+    # (error is deterministic; the speedup floor stays well under the
+    # dedicated bench_sampling.py gate to absorb runner noise).
+    sampling = payload.get("sampling")
+    if sampling is None:
+        failures.append("sampling: section missing from this run")
+    else:
+        if abs(sampling["error"]) > SAMPLING_ERROR_TOLERANCE:
+            failures.append(
+                f"sampling: cycle error {sampling['error'] * 100:+.2f}% "
+                f"exceeds ±{SAMPLING_ERROR_TOLERANCE:.0%}"
+            )
+        if sampling["speedup"] < MIN_SAMPLING_SPEEDUP:
+            failures.append(
+                f"sampling: only {sampling['speedup']:.2f}x over the "
+                f"exact ISA run (required {MIN_SAMPLING_SPEEDUP:.1f}x)"
+            )
     return failures
 
 
@@ -284,6 +368,11 @@ def main(argv: list[str] | None = None) -> int:
     super_ = payload["superinstructions"]
     print(f"block dispatch speedup ({super_['blocks']} vs "
           f"{super_['threaded']}): {super_['block_speedup']:.2f}x")
+    sampling = payload["sampling"]
+    print(f"sampled mode ({sampling['sampled']} vs {sampling['exact']}): "
+          f"{sampling['speedup']:.2f}x wall-clock, "
+          f"{sampling['error'] * 100:+.2f}% cycle error "
+          f"[{sampling['ci_low']}, {sampling['ci_high']}]")
 
     if args.check_regression:
         if not ENGINE_PATH.exists():

@@ -1,0 +1,165 @@
+"""Phase transitions between detailed and functional execution.
+
+Sampled simulation (:mod:`repro.sampling`) alternates two regimes over
+one set of per-thread architectural states: bounded *detailed windows*
+run as normal scheduler processes under the cycle-exact engine, and
+*functional phases* execute timing-free closures with no scheduler at
+all. This module owns the mechanics of switching — scoreboard handoff,
+bounded-window spawning, round-robin fast-forward — and knows nothing
+about statistics or the ISA: callers hand in the process factory and
+the functional step function.
+
+A *state* here is duck-typed (the ISA interpreter passes its
+``_ThreadState``): it must expose ``halted`` (bool), ``tu`` (with
+``tid``, ``issue_time``, and ``counters.instructions``), and ``ready``
+(the per-register scoreboard list).
+
+**Why each window gets a fresh scheduler.** Thread clocks only advance
+inside detailed windows; a functional phase moves instructions, not
+time. At a window boundary each thread therefore carries the absolute
+issue time it reached in the *previous* window — and those times
+differ, because contention skews threads apart. That skew is real
+timing signal: collapsing every thread onto a common start (the obvious
+alternative) re-synchronizes their loop phases and manufactures
+thundering-herd contention the continuous run does not have, which
+measurably biases per-unit CPI upward (worst with shared read-only
+data, where aligned threads hammer one bank in lockstep). So each
+window spawns every live thread at its own preserved issue time — on a
+fresh :class:`~repro.engine.scheduler.Scheduler`, because the previous
+window's instance has already advanced its clock past the laggards and
+correctly refuses to spawn into its past. Absolute times stay
+monotonic per thread, so the final window's clock still reads as total
+simulated-detailed time.
+
+Scoreboard entries, unlike clocks, do *not* survive a functional phase:
+a pending ready-time refers to a producing instruction that the
+fast-forward long since retired architecturally. Window entry clamps
+any entry beyond the thread's own clock down to it; the warm-up prefix
+rebuilds real in-flight latencies along with cache and FPU pipe state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.engine.scheduler import Scheduler
+
+
+class PhasedExecution:
+    """Drives one run's alternation of detailed and functional phases.
+
+    *scheduler_factory()* returns the fresh
+    :class:`~repro.engine.scheduler.Scheduler` each detailed window
+    runs on (callers that track "the current scheduler" — the ISA
+    interpreter does — install it there before returning it).
+
+    *spawn_detailed(state, warm_target, stop_target, unit)* returns a
+    scheduler process body that executes *state* under the exact engine
+    until its instruction counter reaches ``stop_target`` (crossing
+    ``warm_target`` marks the warm-up/measure boundary) and records the
+    window's cycles and instructions into *unit*.
+
+    *run_functional(state, budget)* executes about *budget* further
+    instructions of *state* functionally (closures may overshoot by one
+    basic block) and returns nothing.
+    """
+
+    def __init__(self, scheduler_factory: Callable[[], Scheduler],
+                 states: Iterable, spawn_detailed: Callable,
+                 run_functional: Callable) -> None:
+        self.scheduler_factory = scheduler_factory
+        self.states = list(states)
+        self.spawn_detailed = spawn_detailed
+        self.run_functional = run_functional
+        #: The scheduler of the most recent detailed window; its final
+        #: clock is the run's total simulated-detailed time.
+        self.scheduler: Scheduler | None = None
+
+    # ------------------------------------------------------------------
+    def live(self) -> list:
+        return [s for s in self.states if not s.halted]
+
+    def all_halted(self) -> bool:
+        return not self.live()
+
+    def total_instructions(self) -> int:
+        return sum(s.tu.counters.instructions for s in self.states)
+
+    def detailed_cycles(self) -> int:
+        """Simulated time the detailed windows have covered so far."""
+        return self.scheduler.now if self.scheduler is not None else 0
+
+    # ------------------------------------------------------------------
+    def detailed_window(self, warmup: int, measure: int, unit) -> None:
+        """Run every live thread detailed for warmup+measure insns.
+
+        Threads start at their own preserved issue times (see module
+        docstring); stale scoreboard entries clamp to the thread clock.
+        """
+        live = self.live()
+        if not live:
+            return
+        scheduler = self.scheduler_factory()
+        self.scheduler = scheduler
+        for state in live:
+            clock = state.tu.issue_time
+            ready = state.ready
+            for reg, t in enumerate(ready):
+                if t > clock:
+                    ready[reg] = clock
+            done = state.tu.counters.instructions
+            scheduler.spawn(
+                self.spawn_detailed(state, done + warmup,
+                                    done + warmup + measure, unit),
+                start_time=clock,
+                name=f"sample-t{state.tu.tid}",
+            )
+        scheduler.run()
+
+    def functional_phase(self, budgets: dict[int, int],
+                         chunk: int) -> None:
+        """Fast-forward live threads by their *budgets* instructions.
+
+        *budgets* maps ``id(state)`` to that thread's instruction
+        budget — callers skew the per-thread budgets to reconstruct
+        position drift (see :func:`repro.sampling.run.sample_run`);
+        identical positions would put regularly-strided workloads into
+        lockstep line crossings that pile onto single memory banks,
+        a contention pattern the continuous run decorrelates away.
+
+        Round-robin in chunks of *chunk* so threads spinning on shared
+        state (barrier SPRs, atomics) see each other progress; a spin
+        burns its own budget, so the phase always terminates.
+        """
+        live = self.live()
+        pending = {id(state): budgets[id(state)] for state in live
+                   if budgets[id(state)] > 0}
+        while pending:
+            progressed = False
+            for state in live:
+                key = id(state)
+                left = pending.get(key)
+                if left is None:
+                    continue
+                if state.halted:
+                    del pending[key]
+                    continue
+                give = left if left < chunk else chunk
+                before = state.tu.counters.instructions
+                self.run_functional(state, give)
+                used = state.tu.counters.instructions - before
+                left -= used
+                if used:
+                    progressed = True
+                if state.halted or left <= 0:
+                    del pending[key]
+                else:
+                    pending[key] = left
+            if not progressed:
+                # Defensive: a functional step that makes no progress
+                # would spin the host forever; no ISA closure does this,
+                # but a broken table must not hang the run.
+                break
+
+
+__all__ = ["PhasedExecution"]

@@ -28,6 +28,7 @@ from repro.experiments import (  # noqa: E402,F401
     fig5_stream_modes,
     fig6_origin_compare,
     fig7_barriers,
+    sampling_validation,
     table1_interest_groups,
     table2_latencies,
 )

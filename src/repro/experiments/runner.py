@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
@@ -85,6 +86,15 @@ def _build_parser() -> argparse.ArgumentParser:
                               "repro.serve server (e.g. "
                               "http://127.0.0.1:8642); mutually "
                               "exclusive with -j and --sanitize")
+    run_cmd.add_argument("--sampled", nargs="?", const="1", default=None,
+                         metavar="SPEC",
+                         help="set CYCLOPS_SAMPLE around the run: '1' for "
+                              "default sampled-simulation knobs or a spec "
+                              "like 'period=16384,measure=256' (see "
+                              "docs/sampled-sim.md); only ISA-interpreter "
+                              "experiments sample — kernel-closure "
+                              "workloads reject it; incompatible with -j "
+                              "and --serve")
     run_cmd.add_argument("--sanitize", action="store_true",
                          help="run under the coherence sanitizer (see "
                               "docs/memory-model.md); incompatible with "
@@ -129,6 +139,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.serve and args.sanitize:
         print("error: --sanitize requires local serial execution "
               "(drop --serve)", file=sys.stderr)
+        return 2
+    if args.sampled is not None and args.jobs is not None:
+        # Worker processes do not inherit a mutated parent environment
+        # through the job specs; refuse rather than silently run exact.
+        print("error: --sampled requires serial execution (drop -j)",
+              file=sys.stderr)
+        return 2
+    if args.sampled is not None and args.serve:
+        print("error: --sampled is a local environment override; the "
+              "serve server runs its own (drop --serve)", file=sys.stderr)
         return 2
     if args.sanitize and args.jobs is not None:
         # Worker processes would collect findings in their own session
@@ -224,15 +244,25 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 emit(experiment_id, report, time.time() - started)
     else:
-        for experiment_id in ids:
-            driver = get_experiment(experiment_id)
-            started = time.time()
-            try:
-                report = driver(quick=args.quick)
-            except Exception:
-                failures[experiment_id] = traceback.format_exc(limit=20)
-            else:
-                emit(experiment_id, report, time.time() - started)
+        sample_before = os.environ.get("CYCLOPS_SAMPLE")
+        if args.sampled is not None:
+            os.environ["CYCLOPS_SAMPLE"] = args.sampled
+        try:
+            for experiment_id in ids:
+                driver = get_experiment(experiment_id)
+                started = time.time()
+                try:
+                    report = driver(quick=args.quick)
+                except Exception:
+                    failures[experiment_id] = traceback.format_exc(limit=20)
+                else:
+                    emit(experiment_id, report, time.time() - started)
+        finally:
+            if args.sampled is not None:
+                if sample_before is None:
+                    os.environ.pop("CYCLOPS_SAMPLE", None)
+                else:
+                    os.environ["CYCLOPS_SAMPLE"] = sample_before
 
     sanitizer_failed = False
     if args.sanitize:

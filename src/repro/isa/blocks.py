@@ -623,10 +623,9 @@ class _BlockEmitter:
         self.emit("return")
 
     # -- driver --------------------------------------------------------
-    def compile_source(self, fn_name: str) -> str:
-        """The fused ``def`` for this block, or raises ``_Unfusable``."""
-        instructions = self.program.instructions
-        self.lines = [
+    def prologue(self, fn_name: str) -> list[str]:
+        """Opening lines of the generated ``def`` (overridable)."""
+        return [
             f"def {fn_name}(state):",
             "    tu = state.tu",
             "    _R = state.regs._regs",
@@ -635,6 +634,11 @@ class _BlockEmitter:
             "    nst = 0",
             "    nse = 0",
         ]
+
+    def compile_source(self, fn_name: str) -> str:
+        """The fused ``def`` for this block, or raises ``_Unfusable``."""
+        instructions = self.program.instructions
+        self.lines = self.prologue(fn_name)
         for index in range(self.start, self.end):
             inst = instructions[index]
             unit = inst.opcode.unit
@@ -735,4 +739,381 @@ def compile_blocks(program: Program, lat, window_bytes: int,
         entries[start] = (is_gen, namespace[fn_name])
     table = BlockTable(entries, len(spans), len(fused), lengths, module)
     cache[key] = (lat, table)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Functional (timing-free) code generation — repro.sampling fast-forward
+# ---------------------------------------------------------------------------
+class _ZeroLatency:
+    """Latency-table stand-in for functional codegen.
+
+    The timed emitters index latency rows for execution/result cycles;
+    the functional subclass discards both, so every row reads ``(1, 0)``.
+    """
+
+    def __getattr__(self, name: str) -> tuple[int, int]:
+        return (1, 0)
+
+
+_FUNCTIONAL_LAT = _ZeroLatency()
+#: Functional blocks model no fetch, so they never cut at PIB windows:
+#: only real leaders (entry, branch targets, fall-throughs) split them.
+_FUNCTIONAL_WINDOW = 1 << 30
+
+
+class _FunctionalEmitter(_BlockEmitter):
+    """Emits the timing-free (functional) source of one block.
+
+    Same architectural semantics as the timed emitter — register
+    values, memory data, instruction/load/store/flop counters, faults —
+    with every clock, scoreboard, cache, FPU-pipe, and scheduler
+    interaction deleted: the closures are plain calls with no yields.
+
+    Double pairs are additionally cached as *float* locals (``d12``) so
+    hot FP loops never round-trip through the packed u32 representation.
+    A pair has at most one authoritative view at a time: materializing
+    either view writes back and drops the other, so mixed int/double
+    access of the same registers stays exact.
+    """
+
+    def __init__(self, program: Program, start: int, end: int) -> None:
+        super().__init__(program, _FUNCTIONAL_LAT, start, end)
+        self.local_d: set[int] = set()
+        self.dirty_d: set[int] = set()
+
+    # -- the pair cache -------------------------------------------------
+    def _spill_pair(self, pair: int) -> None:
+        """Re-materialize a pair's u32 view before an integer access."""
+        if pair in self.local_d:
+            self.emit(f"r{pair}, r{pair + 1} = _up_II(_pk_d(d{pair}))")
+            self.local_r.update((pair, pair + 1))
+            if pair in self.dirty_d:
+                self.dirty_r.update((pair, pair + 1))
+                self.dirty_d.discard(pair)
+            self.local_d.discard(pair)
+
+    def _drop_int_view(self, pair: int) -> None:
+        """Retire a pair's u32 locals before its float local takes over."""
+        for reg in (pair, pair + 1):
+            if reg in self.dirty_r:
+                self.emit(f"_R[{reg}] = r{reg}")
+                self.dirty_r.discard(reg)
+            self.local_r.discard(reg)
+
+    def rv(self, reg: int) -> str:
+        self._spill_pair(reg & ~1)
+        return super().rv(reg)
+
+    def write_r(self, reg: int, expr: str) -> None:
+        self._spill_pair(reg & ~1)
+        super().write_r(reg, expr)
+
+    def read_double(self, reg: int) -> str:
+        if reg % 2:
+            # The register file raises exactly like the timed handlers;
+            # embedding the call keeps the fault without unfusing.
+            return f"state.regs.read_double({reg})"
+        if reg == 0:
+            return super().read_double(reg)
+        if reg not in self.local_d:
+            lo, hi = self.rv(reg), self.rv(reg + 1)
+            self.emit(f"d{reg} = _up_d(_pk_II({lo}, {hi}))[0]")
+            self.local_d.add(reg)
+            self._drop_int_view(reg)
+        return f"d{reg}"
+
+    def write_double(self, reg: int, expr: str) -> None:
+        if reg % 2:
+            self.emit(f"state.regs.write_double({reg}, {expr})")
+            return
+        if reg == 0:
+            # Pair-0 writes are discarded whole, like the timed emitter.
+            return
+        self._drop_int_view(reg)
+        self.emit(f"d{reg} = {expr}")
+        self.local_d.add(reg)
+        self.dirty_d.add(reg)
+
+    # -- timing machinery deleted ---------------------------------------
+    def tv(self, reg: int) -> str:  # pragma: no cover - never reached
+        raise AssertionError("functional codegen has no scoreboard")
+
+    def write_t(self, reg: int, expr: str) -> None:
+        pass
+
+    def wait_deps(self, deps: tuple[int, ...]) -> None:
+        pass
+
+    def stall_to_e(self) -> None:
+        pass
+
+    def pre_yield(self) -> None:
+        pass
+
+    def retire(self, execution: int) -> None:
+        self.ni += 1
+
+    def flush(self) -> None:
+        self.emit("c = tu.counters")
+        if self.ni:
+            self.emit(f"c.instructions += {self.ni}")
+        if self.nl:
+            self.emit(f"c.loads += {self.nl}")
+        if self.ns:
+            self.emit(f"c.stores += {self.ns}")
+        if self.nf:
+            self.emit(f"c.flops += {self.nf}")
+
+    def flush_registers(self) -> None:
+        super().flush_registers()
+        for reg in sorted(self.dirty_d):
+            self.emit(f"_R[{reg}], _R[{reg + 1}] = _up_II(_pk_d(d{reg}))")
+        self.dirty_d.clear()
+
+    def prologue(self, fn_name: str) -> list[str]:
+        return [
+            f"def {fn_name}(state):",
+            "    tu = state.tu",
+            "    _R = state.regs._regs",
+            "    _warm = state.warm_fn",
+            "    _wm = state.warm_memo",
+            "    _wmg = _wm.get",
+            "    _qid = tu.quad_id",
+        ]
+
+    # -- per-unit emitters ----------------------------------------------
+    def emit_system(self, inst: Instruction) -> None:
+        name = inst.opcode.name
+        if name == "nop":
+            self.retire(1)
+            return
+        if name == "tid":
+            self.retire(1)
+            self.write_r(inst.rd, "tu.tid")
+            return
+        if name == "sync":
+            # The fence orders only the scoreboard, which functional
+            # mode does not model; architecturally it is a nop.
+            self.retire(1)
+            return
+        raise _Unfusable(f"system op {name}")
+
+    def emit_halt(self) -> None:
+        self.retire(1)
+        self.flush()
+        self.flush_registers()
+        # The functional clock does not advance; the last detailed
+        # issue time is the best-known finish time for this thread.
+        self.emit("c.finish_time = tu.issue_time")
+        self.emit("state.halted = True")
+        self.emit("return")
+
+    def emit_memory(self, index: int, inst: Instruction) -> None:
+        name = inst.opcode.name
+        size = MEM_SIZES[name]
+        is_store = inst.opcode.unit is UnitClass.STORE
+        align_mask = ~(size - 1) if size >= 4 else ~3
+        rd = inst.rd
+        ea = self.rv(inst.ra)
+        if inst.imm:
+            self.emit(f"_ea = ({ea} + ({inst.imm})) & 4294967295")
+            ea = "_ea"
+        self.emit(f"_ph = {ea} & 16777215")
+        # Functional warming: same aligned line-classified address the
+        # timed path would access, minus all timing (see
+        # MemorySubsystem.warm_access). Memoized per static op on the
+        # line-aligned address: a unit-stride stream touches one line
+        # for several consecutive accesses and only the first needs
+        # tag/LRU work. A static op is always a load or always a
+        # store, so the store flag needs no key space.
+        access_mask = 0xFF000000 | (0xFFFFFF & align_mask)
+        self.emit(f"_k = {ea} & 4294967232")
+        self.emit(f"if _wmg({index}) != _k:")
+        self.emit(f"    _wm[{index}] = _k")
+        self.emit(f"    _warm(_qid, {ea} & {access_mask}, {is_store})")
+        self.retire(1)
+        if is_store:
+            self.ns += 1
+            if name == "sd":
+                self.emit(
+                    f"state.backing.store_f64(_ph, {self.read_double(rd)})"
+                )
+            elif name == "sw":
+                self.emit(f"state.backing.store_u32(_ph, {self.rv(rd)})")
+            else:
+                self.emit("_wb = _ph - _ph % 4")
+                self.emit(
+                    "_dat = bytearray(state.backing.read_block(_wb, 4))"
+                )
+                if name == "sh":
+                    self.emit(
+                        "_dat[_ph % 4:_ph % 4 + 2] = "
+                        f"_pk_H({self.rv(rd)} & 65535)"
+                    )
+                else:  # sb
+                    self.emit(f"_dat[_ph % 4] = {self.rv(rd)} & 255")
+                self.emit("state.backing.write_block(_wb, bytes(_dat))")
+        else:
+            self.nl += 1
+            if name == "ld":
+                self.write_double(rd, "state.backing.load_f64(_ph)")
+            elif name == "lw":
+                self.write_r(rd, "state.backing.load_u32(_ph)")
+            else:  # lhu / lbu
+                self.write_r(
+                    rd,
+                    f"_ifb(state.backing.read_block(_ph, {size}), 'little')",
+                )
+
+    def emit_atomic(self, index: int, inst: Instruction) -> None:
+        op = _AMO_OPS[inst.opcode.name]
+        a, b = self.rv(inst.ra), self.rv(inst.rb)
+        self.emit(f"_ph = {a} & 16777215")
+        self.emit(f"_warm(_qid, {a} & 4294967292, True)")
+        self.emit("_old = state.backing.load_u32(_ph)")
+        if op == "add":
+            self.emit(
+                f"state.backing.store_u32(_ph, (_old + {b}) & 4294967295)"
+            )
+        elif op == "swap":
+            self.emit(f"state.backing.store_u32(_ph, {b})")
+        elif op == "and":
+            self.emit(f"state.backing.store_u32(_ph, _old & {b})")
+        else:  # or
+            self.emit(f"state.backing.store_u32(_ph, _old | {b})")
+        self.retire(1)
+        self.nl += 1
+        self.ns += 1
+        self.write_r(inst.rd, "_old")
+
+    def emit_fpu(self, index: int, inst: Instruction) -> None:
+        name = inst.opcode.name
+        ra, rb, rd = inst.ra, inst.rb, inst.rd
+        if name == "cvtif":
+            a = self.rv(ra)
+            self.retire(1)
+            self.nf += 1
+            self.write_double(rd, f"float({_sx(a)})")
+            return
+        if name == "cvtfi":
+            src = self.read_double(ra)
+            self.retire(1)
+            self.nf += 1
+            self.write_r(rd, f"int({src}) & 4294967295")
+            return
+        if name in ("fcmplt", "fcmpeq"):
+            self.emit(f"_a = {self.read_double(ra)}")
+            b_expr = self.read_double(rb) if rb % 2 == 0 else "0.0"
+            self.emit(f"_b = {b_expr}")
+            cmp = "<" if name == "fcmplt" else "=="
+            self.retire(1)
+            self.nf += 1
+            self.write_r(rd, f"1 if _a {cmp} _b else 0")
+            return
+        flops = _FPU_UNIT[name][1]
+        self.emit(f"_a = {self.read_double(ra)}")
+        b_expr = self.read_double(rb) if rb % 2 == 0 else "0.0"
+        self.emit(f"_b = {b_expr}")
+        if name in ("fmadd", "fmsub"):
+            self.emit(f"_d = {self.read_double(rd)}")
+        if name == "fdiv":
+            self.emit("if _b == 0.0:")
+            self.emit("    raise _fdiv_zero(tu)")
+        self.retire(1)
+        self.nf += flops
+        self.write_double(rd, _FPU_VALUE_EXPR[name])
+
+    def emit_spr(self, index: int, inst: Instruction) -> None:
+        if inst.opcode.name == "mtspr":
+            a = self.rv(inst.ra)
+            self.retire(1)
+            self.emit(f"state.spr.write(tu.tid, {a} & 255)")
+        else:  # mfspr
+            self.retire(1)
+            self.write_r(inst.rd, "state.spr.read_or() & 4294967295")
+
+
+def _functional_fallback(index: int, reason: str):
+    def _unsupported(state):
+        raise ExecutionError(
+            f"functional fast-forward cannot execute instruction "
+            f"{index}: {reason}"
+        )
+    return _unsupported
+
+
+class FunctionalTable:
+    """Timing-free dispatch table of one program.
+
+    ``entries`` parallels the instruction list with plain closures
+    ``fn(state)`` — no generators, no ``(is_gen, fn)`` tagging — one
+    fused closure per multi-instruction block leader and a
+    single-instruction closure everywhere else, so ``jr`` into block
+    middles executes exactly like the timed tables. The table is
+    latency-independent (timing never enters the generated code) and
+    cached directly on ``Program._functional``.
+    """
+
+    __slots__ = ("entries", "n_fused", "lengths", "source")
+
+    def __init__(self, entries: list, n_fused: int,
+                 lengths: list[int], source: str) -> None:
+        self.entries = entries
+        self.n_fused = n_fused
+        self.lengths = lengths
+        self.source = source
+
+
+def compile_functional(program: Program) -> FunctionalTable:
+    """Compile *program*'s functional (timing-free) dispatch table.
+
+    Every index gets a single-instruction closure; multi-instruction
+    basic blocks additionally fuse into one closure installed at the
+    leader. An instruction the functional generator cannot reproduce
+    gets a closure that raises ``ExecutionError`` on first dispatch —
+    fast-forward has no timed fallback to hide behind.
+    """
+    cached = program._functional
+    if cached is not None:
+        return cached
+
+    n = len(program.instructions)
+    pieces: list[str] = []
+    singles: list[tuple[int, str | None, str | None]] = []
+    for i in range(n):
+        emitter = _FunctionalEmitter(program, i, i + 1)
+        try:
+            source = emitter.compile_source(f"_fi_{i}")
+        except _Unfusable as exc:
+            singles.append((i, None, str(exc)))
+            continue
+        pieces.append(source)
+        singles.append((i, f"_fi_{i}", None))
+    fused: list[tuple[int, str]] = []
+    lengths: list[int] = []
+    for start, end in block_spans(program, _FUNCTIONAL_WINDOW):
+        if end - start <= 1:
+            continue
+        emitter = _FunctionalEmitter(program, start, end)
+        try:
+            source = emitter.compile_source(f"_fb_{start}")
+        except _Unfusable:
+            continue
+        pieces.append(source)
+        fused.append((start, f"_fb_{start}"))
+        lengths.append(end - start)
+    module = "\n".join(pieces)
+    namespace = dict(_NAMESPACE)
+    if module:
+        code = compile(module, f"<functional:{program.base:#x}>", "exec")
+        exec(code, namespace)
+    entries: list = [None] * n
+    for i, fn_name, reason in singles:
+        entries[i] = (namespace[fn_name] if fn_name is not None
+                      else _functional_fallback(i, reason))
+    for start, fn_name in fused:
+        entries[start] = namespace[fn_name]
+    table = FunctionalTable(entries, len(fused), lengths, module)
+    program._functional = table
     return table

@@ -51,14 +51,18 @@ from repro.core.chip import Chip
 from repro.core.icache import PrefetchBuffer
 from repro.core.thread_unit import ThreadUnit
 from repro.engine.scheduler import Scheduler
-from repro.errors import ExecutionError
-from repro.isa.blocks import compile_blocks
+from repro.errors import ConfigError, ExecutionError
+from repro.isa.blocks import compile_blocks, compile_functional
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import ALU_UNITS, FPU_UNITS, MEM_SIZES, UnitClass
 from repro.isa.program import Program
 from repro.isa.registers import REG_LINK, RegisterFile
 
 _U32 = 0xFFFFFFFF
+
+#: Mirrors ``repro.sampling.SAMPLE_ENV`` as a literal so the default
+#: (exact) path never imports the sampling package.
+_SAMPLE_ENV = "CYCLOPS_SAMPLE"
 
 
 class ThreadExit(Exception):
@@ -78,7 +82,7 @@ class _ThreadState:
     """
 
     __slots__ = ("tu", "regs", "ready", "pc", "pib", "program", "halted",
-                 "memory", "backing", "fpu", "spr")
+                 "memory", "backing", "fpu", "spr", "warm_memo", "warm_fn")
 
     def __init__(self, tu: ThreadUnit, program: Program,
                  chip: Chip) -> None:
@@ -107,6 +111,14 @@ class _ThreadState:
         self.backing = chip.memory.backing
         self.fpu = chip.fpu_of(tu.tid)
         self.spr = chip.barrier_spr
+        #: Functional-warming memo: static op index -> last line-
+        #: aligned address it warmed (see blocks emit_memory). Only
+        #: sampled runs populate it; exact runs never touch it.
+        self.warm_memo: dict[int, int] = {}
+        #: What functional closures call on a line transition — the
+        #: real warm_access near a detailed window, a no-op in the far
+        #: fast-forward span (see repro.sampling.run's warm horizon).
+        self.warm_fn = chip.memory.warm_access
 
 
 class Interpreter:
@@ -136,6 +148,9 @@ class Interpreter:
         self._block_tables: dict[int, "object"] = {}
         self._block_dispatched = 0
         self._published_tables: set[int] = set()
+        #: The :class:`repro.sampling.SamplingEstimate` of the last
+        #: sampled run; ``None`` after exact runs.
+        self.sampling = None
 
     # ------------------------------------------------------------------
     def add_thread(self, tid: int, program: Program,
@@ -154,11 +169,82 @@ class Interpreter:
         self.scheduler.spawn(self._thread_proc(state), name=f"isa-t{tid}")
         return state
 
-    def run(self, until: int | None = None) -> int:
-        """Run all threads to completion; returns the final cycle."""
+    def run(self, until: int | None = None, *, sampled=None) -> int:
+        """Run all threads to completion; returns the final cycle.
+
+        ``sampled`` opts into SMARTS-style sampled simulation (see
+        :mod:`repro.sampling` and ``docs/sampled-sim.md``): pass a
+        ``SamplingConfig``, ``True`` for defaults, or a spec string;
+        ``CYCLOPS_SAMPLE`` in the environment does the same for
+        unmodified callers, and an explicit ``sampled=False`` overrides
+        it back to exact. A sampled run returns the *estimated* cycle
+        count (the full estimate with error bars lands on
+        ``self.sampling``); the default path is untouched — not even an
+        import.
+        """
+        if sampled is None:
+            sampled = os.environ.get(_SAMPLE_ENV) or None
+        if sampled is not None and sampled is not False:
+            from repro.sampling import resolve_config
+
+            config = resolve_config(sampled)
+            if config is not None:
+                if until is not None:
+                    raise ConfigError(
+                        "sampled runs estimate whole-run cycles and "
+                        "cannot stop at an exact 'until' time; run "
+                        "exact instead"
+                    )
+                return self.run_sampled(config).estimated_cycles
         final = self.scheduler.run(until)
         self._publish_block_metrics()
         return final
+
+    def run_sampled(self, config=None):
+        """Run under sampled simulation; returns a ``SamplingEstimate``.
+
+        Replaces this interpreter's scheduler (the exact-mode thread
+        processes are discarded unstarted), so an interpreter runs
+        either exact or sampled, not both.
+        """
+        from repro.sampling import SamplingConfig
+        from repro.sampling.run import sample_run
+
+        if config is None:
+            config = SamplingConfig()
+        if self.chip.memory.sanitizer is not None:
+            raise ConfigError(
+                "sampled simulation cannot run under the coherence "
+                "sanitizer: functional fast-forward moves data through "
+                "the backing store directly, bypassing the timed memory "
+                "system the sanitizer observes"
+            )
+        estimate = sample_run(self, config)
+        self.sampling = estimate
+        self._publish_block_metrics()
+        self._publish_sampling_metrics(estimate)
+        return estimate
+
+    def _publish_sampling_metrics(self, estimate) -> None:
+        """Cold-path ``sampling.*`` harvest into the chip's telemetry."""
+        inst = getattr(self.chip, "telemetry", None)
+        if inst is None:
+            return
+        registry = inst.registry
+        registry.gauge("sampling.units").set(estimate.n_units)
+        registry.gauge("sampling.estimated_cycles").set(
+            estimate.estimated_cycles)
+        registry.gauge("sampling.ci_halfwidth_cycles").set(
+            estimate.ci_halfwidth)
+        registry.gauge("sampling.cpi_mean").set(estimate.cpi_mean)
+        registry.gauge("sampling.detailed_cycles").set(
+            estimate.detailed_cycles)
+        registry.counter("sampling.warmup_insns").inc(
+            estimate.warmup_insns)
+        registry.counter("sampling.measured_insns").inc(
+            estimate.measured_insns)
+        registry.counter("sampling.fastforward_insns").inc(
+            estimate.ff_insns)
 
     def _publish_block_metrics(self) -> None:
         """Cold-path harvest of block-dispatch counters into telemetry.
@@ -191,22 +277,32 @@ class Interpreter:
     # ------------------------------------------------------------------
     # The per-thread process
     # ------------------------------------------------------------------
-    def _thread_proc(self, state: _ThreadState):
-        tu = state.tu
+    def _dispatch_table(self, state: _ThreadState) -> tuple[list, int]:
+        """``(entries, n)`` dispatch table for *state*'s program.
+
+        Threaded-code handlers, or the block-superinstruction table
+        overlaid on them when block dispatch is active. Shared by the
+        exact thread process and the sampled bounded windows.
+        """
         program = state.program
         lat = self.chip.config.latency
         handlers = compile_program(program, lat)
         n = len(handlers)
         if self.block_dispatch:
             # Blocks never span a PIB window (a formation rule), so the
-            # per-iteration fetch check below stays exact: entering a
-            # fused block can fetch at most once, at its first address.
-            window = tu.config.pib_entries * tu.config.word_bytes
+            # per-iteration fetch check in the dispatch loops stays
+            # exact: entering a fused block can fetch at most once, at
+            # its first address.
+            window = state.tu.config.pib_entries * state.tu.config.word_bytes
             table = compile_blocks(program, lat, window, handlers)
             self._block_tables[id(table)] = table
-            entries = table.entries
-        else:
-            entries = handlers
+            return table.entries, n
+        return handlers, n
+
+    def _thread_proc(self, state: _ThreadState):
+        tu = state.tu
+        program = state.program
+        entries, n = self._dispatch_table(state)
         model_fetch = self.model_fetch
         pib = state.pib
         base = program.base
@@ -239,6 +335,88 @@ class Interpreter:
         # run() reports real cycles even for programs that never touch
         # shared resources (pure ALU work advances only the local clock).
         yield tu.issue_time
+
+    # ------------------------------------------------------------------
+    # Sampled-simulation primitives (see repro.sampling)
+    # ------------------------------------------------------------------
+    def _sampled_detail_proc(self, state: _ThreadState, entries: list,
+                             n: int, warm_target: int, stop_target: int,
+                             unit):
+        """One bounded detailed window of *state*: the exact dispatch
+        loop of :meth:`_thread_proc`, stopping once the thread's
+        instruction counter reaches *stop_target* (block closures may
+        overshoot by one block; the overshoot is counted, not lost).
+        Crossing *warm_target* snapshots the warm-up boundary; the
+        window's measurements land in *unit*.
+        """
+        tu = state.tu
+        counters = tu.counters
+        start_insns = counters.instructions
+        model_fetch = self.model_fetch
+        pib = state.pib
+        base = state.program.base
+        dispatched = 0
+        warm_clock: int | None = None
+        warm_insns = 0
+        while not state.halted and counters.instructions < stop_target:
+            if warm_clock is None and counters.instructions >= warm_target:
+                warm_clock = tu.issue_time
+                warm_insns = counters.instructions
+            pc = state.pc
+            if pc < 0 or pc >= n:
+                raise ExecutionError(
+                    f"thread {tu.tid}: pc {pc} outside program"
+                )
+            if model_fetch:
+                address = base + 4 * pc
+                if not pib.holds(address):
+                    now = yield tu.issue_time
+                    icache = self.chip.icache_of(tu.tid)
+                    ready, _ = icache.fetch(
+                        now, address, self.chip.memory.banks,
+                        self.chip.memory.address_map,
+                    )
+                    tu.issue_at(ready)
+                    pib.refill(address)
+            dispatched += 1
+            is_gen, handler = entries[pc]
+            if is_gen:
+                yield from handler(state)
+            else:
+                handler(state)
+        self._block_dispatched += dispatched
+        # Sync the process clock to the architectural one (same reason
+        # as _thread_proc) *before* recording, so the unit's end clock
+        # and the scheduler's window end agree.
+        yield tu.issue_time
+        if warm_clock is None:
+            # The thread halted inside warm-up: the whole window is
+            # warm-up and the unit records zero measured instructions.
+            warm_clock = tu.issue_time
+            warm_insns = counters.instructions
+        unit.record(start_insns, warm_insns, warm_clock,
+                    counters.instructions, tu.issue_time)
+
+    def _run_functional(self, state: _ThreadState, budget: int) -> None:
+        """Fast-forward *state* by about *budget* instructions.
+
+        Plain closure dispatch over the program's functional table
+        (:func:`repro.isa.blocks.compile_functional`, cached on the
+        program): architecturally exact, no clock, no scheduler. Fused
+        closures may overshoot the budget by one basic block.
+        """
+        entries = compile_functional(state.program).entries
+        n = len(entries)
+        counters = state.tu.counters
+        target = counters.instructions + budget
+        tid = state.tu.tid
+        while not state.halted and counters.instructions < target:
+            pc = state.pc
+            if pc < 0 or pc >= n:
+                raise ExecutionError(
+                    f"thread {tid}: pc {pc} outside program"
+                )
+            entries[pc](state)
 
 
 # ---------------------------------------------------------------------------

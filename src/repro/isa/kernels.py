@@ -1,4 +1,4 @@
-"""Generated assembly kernels: STREAM at the ISA level.
+"""Generated assembly kernels: STREAM and FFT at the ISA level.
 
 The cross-compiler substitute in action: :class:`~repro.isa.builder.Builder`
 emits the same vector loops the STREAM workload models — including the
@@ -7,7 +7,7 @@ interpreter cross-validates the two execution layers: the per-element
 cycle costs of the direct-execution model and of the instruction-level
 model must agree closely, since both charge the same Table 2 machine.
 
-Register convention inside the generated loops:
+Register convention inside the generated STREAM loops:
 
 ====  =======================================
 r4    source pointer (a or c)
@@ -17,9 +17,17 @@ r7    remaining iteration count
 r10   scalar (triad/scale), as a double pair
 r12+  data pairs (r12, r14, r16, ... when unrolled)
 ====  =======================================
+
+:func:`fft_kernel_program` adds a second workload family with a very
+different instruction mix (FP add/sub-heavy, two live buffers, shared
+read-only twiddles): a constant-geometry radix-2 FFT in the Pease
+formulation, used by the sampled-simulation validation harness
+(:mod:`repro.sampling.validate`) alongside STREAM.
 """
 
 from __future__ import annotations
+
+import math
 
 from repro.errors import WorkloadError
 from repro.isa.builder import Builder
@@ -78,3 +86,164 @@ def stream_register_setup(kernel: str, src: int, src2: int, dst: int,
         init_regs[5] = src2
     init_doubles = {10: scalar} if kernel in ("scale", "triad") else {}
     return init_regs, init_doubles
+
+
+# ----------------------------------------------------------------------
+# Constant-geometry radix-2 FFT (Pease formulation)
+# ----------------------------------------------------------------------
+#
+# Every pass performs the same n/2 butterflies over a source and a
+# destination buffer, swapping the two between passes:
+#
+#     a = X[j], b = X[j + n/2]             (complex, interleaved re/im)
+#     Y[2j]   = a + b
+#     Y[2j+1] = (a - b) * w_p(j),  w_p(j) = exp(-2*pi*i*((j>>p)<<p)/n)
+#
+# After log2(n) passes the buffer last written holds the DFT of the
+# input in bit-reversed order. The fixed geometry keeps the inner loop
+# free of index arithmetic: twiddles are precomputed pass-major in
+# butterfly order (:func:`fft_twiddles`), so all three pointers just
+# stride forward.
+#
+# Register convention:
+#
+# ====  ==================================================
+# r2    n/2 (reloaded into the loop counter each pass)
+# r3    ping buffer base (input; swaps each pass)
+# r8    twiddle pointer (monotonic across all passes)
+# r9    remaining passes (log2 n)
+# r10   pong buffer base (swaps each pass)
+# r11   swap scratch
+# r4/r6/r7  per-pass read ptr / write ptr / loop counter
+# r12+  double pairs r12..r33: a, b, w, temps
+# ====  ==================================================
+
+#: ld/sd immediates must hold 8*n + 8 in a signed 16-bit field.
+FFT_MAX_N = 2048
+
+
+def _fft_check(n: int) -> int:
+    """Validate the transform size; returns log2(n)."""
+    if n < 4 or n > FFT_MAX_N or n & (n - 1):
+        raise WorkloadError(
+            f"FFT size must be a power of two in [4, {FFT_MAX_N}], "
+            f"got {n}"
+        )
+    return n.bit_length() - 1
+
+
+def fft_kernel_program(n: int) -> Program:
+    """Emit the constant-geometry FFT sweep for transform size *n*."""
+    _fft_check(n)
+    half = 8 * n  # byte offset of X[j + n/2] from X[j]
+    b = Builder()
+    b.label("pass")
+    b.add(4, 3, 0)              # read ptr = source base
+    b.add(6, 10, 0)             # write ptr = destination base
+    b.add(7, 2, 0)              # n/2 butterflies this pass
+    b.label("bfly")
+    b.ld(12, 0, base=4)         # ar
+    b.ld(14, 8, base=4)         # ai
+    b.ld(16, half, base=4)      # br
+    b.ld(18, half + 8, base=4)  # bi
+    b.ld(20, 0, base=8)         # wr
+    b.ld(22, 8, base=8)         # wi
+    b.fadd(30, 12, 16)          # yr = ar + br
+    b.fadd(32, 14, 18)          # yi = ai + bi
+    b.emit("fsub", rd=12, ra=12, rb=16)  # dr = ar - br
+    b.emit("fsub", rd=14, ra=14, rb=18)  # di = ai - bi
+    b.fmul(26, 12, 20)          # tr = dr * wr
+    b.fmul(24, 14, 22)          # u  = di * wi
+    b.emit("fsub", rd=26, ra=26, rb=24)  # tr -= u
+    b.fmul(28, 12, 22)          # ti = dr * wi
+    b.fmadd(28, 14, 20)         # ti += di * wr
+    b.sd(30, 0, base=6)         # Y[2j]
+    b.sd(32, 8, base=6)
+    b.sd(26, 16, base=6)        # Y[2j+1]
+    b.sd(28, 24, base=6)
+    b.addi(4, 4, 16)
+    b.addi(6, 6, 32)
+    b.addi(8, 8, 16)
+    b.addi(7, 7, -1)
+    b.bne(7, 0, "bfly")
+    b.add(11, 3, 0)             # swap ping/pong bases
+    b.add(3, 10, 0)
+    b.add(10, 11, 0)
+    b.addi(9, 9, -1)
+    b.bne(9, 0, "pass")
+    b.halt()
+    return b.build()
+
+
+def fft_twiddles(n: int) -> list[tuple[float, float]]:
+    """Pass-major, butterfly-order (re, im) twiddles for size *n*.
+
+    Shared read-only by every thread transforming at size *n*; lay the
+    flattened pairs out contiguously at the address passed to
+    :func:`fft_register_setup`.
+    """
+    m = _fft_check(n)
+    out: list[tuple[float, float]] = []
+    for p in range(m):
+        for j in range(n // 2):
+            angle = -2.0 * math.pi * ((j >> p) << p) / n
+            out.append((math.cos(angle), math.sin(angle)))
+    return out
+
+
+def fft_register_setup(ping: int, pong: int, twiddles: int,
+                       n: int) -> dict[int, int]:
+    """Initial integer registers for :func:`fft_kernel_program`.
+
+    *ping* holds the interleaved re/im input (16 bytes per element);
+    *pong* is a scratch buffer of the same size; *twiddles* points at
+    the shared :func:`fft_twiddles` layout. All three are effective
+    addresses.
+    """
+    m = _fft_check(n)
+    return {2: n // 2, 3: ping, 8: twiddles, 9: m, 10: pong}
+
+
+def fft_result_base(ping: int, pong: int, n: int) -> int:
+    """Where the kernel leaves its (bit-reversed) result.
+
+    Each pass writes the buffer the input did not occupy, so after
+    log2(n) passes the result sits in *ping* for even log2(n) and in
+    *pong* for odd.
+    """
+    return ping if _fft_check(n) % 2 == 0 else pong
+
+
+def fft_host_reference(re: list[float], im: list[float],
+                       n: int) -> tuple[list[float], list[float]]:
+    """Bit-exact host replica of the kernel's arithmetic.
+
+    Applies the same operations in the same order with the same double
+    rounding as the emitted instructions (the interpreter's fmadd
+    rounds the product before the add, exactly like this Python), so
+    the returned (re, im) arrays — the DFT in bit-reversed order —
+    must equal the kernel's result buffer byte for byte.
+    """
+    m = _fft_check(n)
+    tw = fft_twiddles(n)
+    src_r, src_i = list(re), list(im)
+    dst_r, dst_i = [0.0] * n, [0.0] * n
+    t = 0
+    for _ in range(m):
+        for j in range(n // 2):
+            ar, ai = src_r[j], src_i[j]
+            br, bi = src_r[j + n // 2], src_i[j + n // 2]
+            wr, wi = tw[t]
+            t += 1
+            dr = ar - br
+            di = ai - bi
+            tr = dr * wr
+            u = di * wi
+            tr = tr - u
+            ti = dr * wi
+            ti = ti + di * wr
+            dst_r[2 * j], dst_i[2 * j] = ar + br, ai + bi
+            dst_r[2 * j + 1], dst_i[2 * j + 1] = tr, ti
+        src_r, dst_r = dst_r, src_r
+        src_i, dst_i = dst_i, src_i
+    return src_r, src_i

@@ -38,6 +38,12 @@ class Program:
     _blocks: dict | None = field(
         init=False, default=None, repr=False, compare=False
     )
+    #: Functional (timing-free) dispatch table, latency-independent —
+    #: see :func:`repro.isa.blocks.compile_functional`. Same lifecycle
+    #: caveat: mutating ``instructions`` leaves it stale.
+    _functional: object | None = field(
+        init=False, default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.instructions)

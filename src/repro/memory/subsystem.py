@@ -329,6 +329,46 @@ class MemorySubsystem:
                              f"phys={physical:#x} store={is_store}")
         return _tuple_new(AccessOutcome, (issue_end, complete, kind, target))
 
+    def warm_access(self, quad_id: int, effective: int,
+                    is_store: bool) -> None:
+        """Untimed tag-state touch: SMARTS-style *functional warming*.
+
+        Sampled simulation's fast-forward executes data movement with
+        no clock; if cache contents stopped evolving meanwhile, every
+        detailed window would resume against stale tags and bill cold
+        misses the continuous run never paid (the bias is worst for
+        workloads that re-read what they recently wrote). This keeps
+        the tag arrays, LRU order, and dirty bits — and the hit/miss
+        counters, which under sampling therefore cover *all*
+        instructions — moving without reserving ports, banks, or the
+        in-flight table. Dirty victims just drop: outside strict mode
+        the data already lives in the backing store.
+        """
+        ig_byte = effective >> IG_SHIFT
+        physical = effective & PHYSICAL_MASK
+        line = physical & self._line_mask
+        if ig_byte == 0:
+            target = quad_id
+        else:
+            target = self._target_memo.get((ig_byte << IG_SHIFT) | line)
+            if target is None:
+                target = self.target_cache(ig_byte, physical, quad_id)
+        if self._cset_shift is not None:
+            lines = self._cache_sets[target][
+                (line >> self._cset_shift) & self._cset_mask
+            ]
+            state = lines.get(line)
+            if state is not None:
+                lines.move_to_end(line)
+                cache = self.caches[target]
+                if is_store:
+                    state.dirty = True
+                    cache.store_hits += 1
+                else:
+                    cache.hits += 1
+                return
+        self._cache_access[target](line, is_store)
+
     def _write_back(self, time: int, victim_line: int,
                     victim_data: bytes | None) -> None:
         """Queue a dirty victim's burst write on its bank."""

@@ -58,7 +58,31 @@ from repro.system.topology import Coord
 
 #: Crash injection for tests: set to a domain id to make that domain
 #: process die immediately (mirrors ``REPRO_JOBS_INJECT_CRASH``).
-CRASH_ENV = "REPRO_PDES_INJECT_CRASH"
+CRASH_ENV = "CYCLOPS_PDES_INJECT_CRASH"
+
+#: Pre-rename spelling, still honored with a DeprecationWarning (every
+#: other simulator knob uses the ``CYCLOPS_`` prefix).
+LEGACY_CRASH_ENV = "REPRO_PDES_INJECT_CRASH"
+
+
+def crash_injection_target() -> str | None:
+    """The domain id selected for crash injection, or ``None``.
+
+    Reads :data:`CRASH_ENV`; falls back to :data:`LEGACY_CRASH_ENV`
+    (warning once per process) so existing CI scripts keep working
+    through the rename. The new spelling wins when both are set.
+    """
+    target = os.environ.get(CRASH_ENV)
+    if target is not None:
+        return target
+    target = os.environ.get(LEGACY_CRASH_ENV)
+    if target is not None:
+        import warnings
+        warnings.warn(
+            f"{LEGACY_CRASH_ENV} is deprecated; set {CRASH_ENV} instead",
+            DeprecationWarning, stacklevel=2,
+        )
+    return target
 
 #: "Infinitely far in the future" for promise arithmetic.
 INF_TIME = 1 << 62
@@ -184,7 +208,7 @@ def _collect_result(system, runtime: DomainRuntime, final_time: int,
 def domain_main(program_data: dict, domain_id: int, n_domains: int,
                 lookahead: int, inbox, outq) -> None:
     """Entry point of one domain process (multiprocessing target)."""
-    if os.environ.get(CRASH_ENV, "") == str(domain_id):
+    if crash_injection_target() == str(domain_id):
         os._exit(3)
     try:
         _domain_body(program_data, domain_id, n_domains, lookahead,

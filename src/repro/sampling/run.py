@@ -1,0 +1,220 @@
+"""Drive one sampled run of the ISA interpreter.
+
+:func:`sample_run` owns the unit loop — align, detailed window
+(warm-up + measurement), functional fast-forward, repeat until every
+thread halts — and folds the per-unit measurements into a
+:class:`~repro.sampling.SamplingEstimate`. The phase mechanics live in
+:class:`repro.engine.phases.PhasedExecution`; the interpreter supplies
+the bounded detailed process and the functional step.
+"""
+
+from __future__ import annotations
+
+from repro.engine.phases import PhasedExecution
+from repro.engine.scheduler import Scheduler
+from repro.errors import ConfigError
+from repro.sampling import SamplingConfig, SamplingEstimate, build_estimate
+
+
+class UnitSample:
+    """Measurements of one sampling unit across its thread windows.
+
+    Each thread window reports its warm-up crossing and end; the unit's
+    cycle cost is the *mean* per-thread measured interval (the threads
+    run concurrently, so wall cycles per unit are an interval, not a
+    sum) and its instruction count is the aggregate over threads — the
+    quotient is a chip-level CPI for the unit.
+    """
+
+    __slots__ = ("warmup_insns", "measured_insns", "thread_cycles")
+
+    def __init__(self) -> None:
+        self.warmup_insns = 0
+        self.measured_insns = 0
+        self.thread_cycles: list[int] = []
+
+    def record(self, start_insns: int, warm_insns: int, warm_clock: int,
+               end_insns: int, end_clock: int) -> None:
+        self.warmup_insns += warm_insns - start_insns
+        measured = end_insns - warm_insns
+        if measured > 0:
+            self.measured_insns += measured
+            self.thread_cycles.append(end_clock - warm_clock)
+
+    @property
+    def cpi(self) -> float:
+        cycles = sum(self.thread_cycles) / len(self.thread_cycles)
+        return cycles / self.measured_insns
+
+
+def _warm_noop(quad_id: int, effective: int, is_store: bool) -> None:
+    """Far-span stand-in for warm_access: outside the warm horizon a
+    line transition needs no tag work (it would be churned out of the
+    finite tag arrays before the next window anyway)."""
+    return None
+
+
+def _spread(values: list[int]) -> float:
+    """Population standard deviation; 0.0 for fewer than two values."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mean = sum(values) / n
+    return (sum((v - mean) ** 2 for v in values) / n) ** 0.5
+
+
+def sample_run(interp, config: SamplingConfig) -> SamplingEstimate:
+    """Run *interp*'s threads to completion under sampled simulation.
+
+    The interpreter's scheduler is replaced with a fresh one: the
+    unbounded exact-mode processes ``add_thread`` spawned are orphaned
+    unstarted (generators that never ran have no side effects), and the
+    sampled run drives its own bounded windows instead.
+    """
+    states = list(interp.states.values())
+    if not states:
+        raise ConfigError("sampled run has no threads; add_thread first")
+    # Discard the exact-mode scheduler right away: its thread processes
+    # are orphaned unstarted (never-run generators have no effects).
+    interp.scheduler = Scheduler()
+
+    tables = {id(state): interp._dispatch_table(state) for state in states}
+
+    def spawn_detailed(state, warm_target, stop_target, unit):
+        entries, n = tables[id(state)]
+        return interp._sampled_detail_proc(
+            state, entries, n, warm_target, stop_target, unit
+        )
+
+    def scheduler_factory() -> Scheduler:
+        # One fresh scheduler per detailed window (see
+        # repro.engine.phases); keep the interpreter pointed at the
+        # live one so its final clock is the run's detailed time.
+        interp.scheduler = Scheduler()
+        return interp.scheduler
+
+    phases = PhasedExecution(scheduler_factory, states, spawn_detailed,
+                             interp._run_functional)
+    warmup = config.warmup_insns
+    measure = config.measure_insns
+    ff_budget = config.period_insns - warmup - measure
+    drift_cap = config.resolved_jitter
+    # Clock skew only accumulates while threads run detailed — the
+    # window share of each period. A continuous run walks apart over
+    # the whole period, and random-walk variance grows linearly with
+    # span, so the measured skew understates the real spread by
+    # sqrt(window / period); scale deviations back up accordingly.
+    skew_scale = (config.period_insns / (warmup + measure)) ** 0.5
+    horizon = config.resolved_horizon
+
+    unit_cpis: list[float] = []
+    unit_weights: list[int] = []
+    total_measured = 0
+    total_warmup = 0
+    # Instruction-bounded windows would re-align every thread to the
+    # same position each unit; real runs drift positions apart (or keep
+    # them synchronized) by their own contention dynamics. The window
+    # itself classifies which regime holds: clock skew that *grows*
+    # across a window (exit spread > entry spread) marks a divergent
+    # random walk whose measured skew should become position drift;
+    # skew that *shrinks* marks mean-reverting dynamics (shared data
+    # acts as a synchronizer) where reality would erase any offsets —
+    # so applied drift unwinds toward zero instead. Track the position
+    # offset already granted per thread and adjust it each unit.
+    applied_offset: dict[int, float] = {}
+    # Latched workload classification: once any window shows growing
+    # skew the run is treated as divergent for good. Decorrelated
+    # windows of a divergent workload measure *less* fresh skew (the
+    # very contention that generated it is gone), so an instantaneous
+    # classifier flip-flops — unwinding offsets, re-locking threads,
+    # re-diverging — and every other window measures lockstep bias.
+    divergent = False
+    # Counters are cumulative per thread unit; measure this run only.
+    initial_insns = phases.total_instructions()
+    while not phases.all_halted():
+        entry_clocks = {id(s): s.tu.issue_time for s in phases.live()}
+        unit = UnitSample()
+        phases.detailed_window(warmup, measure, unit)
+        total_warmup += unit.warmup_insns
+        total_measured += unit.measured_insns
+        measured = unit.measured_insns > 0
+        if measured:
+            unit_cpis.append(unit.cpi)
+            unit_weights.append(0)
+        if phases.all_halted():
+            break
+        live = phases.live()
+        # Per-thread CPI of this unit converts clock skew (cycles) into
+        # position offsets (instructions).
+        cpi_pt = (sum(unit.thread_cycles) / unit.measured_insns
+                  if measured and unit.thread_cycles else 0.0)
+        entries = [entry_clocks[id(s)] for s in live
+                   if id(s) in entry_clocks]
+        exits = [s.tu.issue_time for s in live]
+        entry_sd = _spread(entries)
+        exit_sd = _spread(exits)
+        # Classify only once there is prior skew to compare against:
+        # the first window enters fully aligned (as the real run does),
+        # so it cannot judge the dynamics yet.
+        if entry_sd > 0.0 and exit_sd > 0.95 * entry_sd:
+            divergent = True
+        durations = {id(s): s.tu.issue_time - entry_clocks[id(s)]
+                     for s in live if id(s) in entry_clocks}
+        mean_dur = (sum(durations.values()) / len(durations)
+                    if durations else 0.0)
+        budgets: dict[int, int] = {}
+        for state in live:
+            key = id(state)
+            drift = 0
+            if cpi_pt > 0.0 and drift_cap > 0:
+                if divergent:
+                    # Accumulate this window's *fresh* duration
+                    # deviation — the walk's new increment. Never
+                    # unwind here: decorrelated windows measure less
+                    # fresh skew, and tracking a cumulative target
+                    # would pull threads back into lockstep.
+                    delta = ((mean_dur - durations.get(key, mean_dur))
+                             / cpi_pt) * skew_scale
+                else:
+                    delta = -applied_offset.get(key, 0.0)
+                drift = int(delta)
+                if drift > drift_cap:
+                    drift = drift_cap
+                elif drift < -drift_cap:
+                    drift = -drift_cap
+                applied_offset[key] = (
+                    applied_offset.get(key, 0.0) + drift)
+            budgets[key] = max(1, ff_budget + drift)
+        before_ff = phases.total_instructions()
+        # Split the fast-forward at the warm horizon: the far span runs
+        # with warming stubbed out, the near span (what the next window
+        # will actually see) warms for real. The memo is cleared at the
+        # boundary — far-span transitions recorded lines as warmed that
+        # the stub never touched.
+        far = {k: b - horizon for k, b in budgets.items() if b > horizon}
+        if far:
+            for state in live:
+                state.warm_fn = _warm_noop
+            phases.functional_phase(far, config.chunk_insns)
+            for state in live:
+                state.warm_fn = state.memory.warm_access
+                state.warm_memo.clear()
+        near = {k: b - far.get(k, 0) for k, b in budgets.items()}
+        phases.functional_phase(near, config.chunk_insns)
+        if measured:
+            # This unit's CPI prices exactly the instructions that
+            # fast-forwarded after its window (stratified estimator).
+            unit_weights[-1] = phases.total_instructions() - before_ff
+
+    return build_estimate(
+        unit_cpis,
+        total_insns=phases.total_instructions() - initial_insns,
+        measured_insns=total_measured,
+        warmup_insns=total_warmup,
+        detailed_cycles=phases.detailed_cycles(),
+        config=config,
+        unit_weights=unit_weights or None,
+    )
+
+
+__all__ = ["UnitSample", "sample_run"]

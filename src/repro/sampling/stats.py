@@ -1,0 +1,127 @@
+"""Student-t confidence intervals for sampled-simulation estimates.
+
+SMARTS-style systematic sampling measures one CPI per sampling unit and
+treats the units as an i.i.d. sample of the run's CPI process. The
+whole-run extrapolation then carries a Student-t confidence interval on
+the mean unit CPI. Unit counts are small (tens), so the normal
+approximation is wrong in exactly the regime we care about; the t
+critical values live in a fixed table here (no scipy in the image),
+rounded *up* across gaps in the degrees-of-freedom axis so intervals
+only ever widen.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+#: Two-sided Student-t critical values per confidence level, keyed by
+#: degrees of freedom. Standard tables; the df axis is dense to 30 and
+#: sparse beyond, matching how fast t converges to z.
+_T_TABLE: dict[float, dict[int, float]] = {
+    0.90: {
+        1: 6.314, 2: 2.920, 3: 2.353, 4: 2.132, 5: 2.015, 6: 1.943,
+        7: 1.895, 8: 1.860, 9: 1.833, 10: 1.812, 11: 1.796, 12: 1.782,
+        13: 1.771, 14: 1.761, 15: 1.753, 16: 1.746, 17: 1.740, 18: 1.734,
+        19: 1.729, 20: 1.725, 21: 1.721, 22: 1.717, 23: 1.714, 24: 1.711,
+        25: 1.708, 26: 1.706, 27: 1.703, 28: 1.701, 29: 1.699, 30: 1.697,
+        40: 1.684, 50: 1.676, 60: 1.671, 80: 1.664, 100: 1.660, 120: 1.658,
+    },
+    0.95: {
+        1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+        7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179,
+        13: 2.160, 14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101,
+        19: 2.093, 20: 2.086, 21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064,
+        25: 2.060, 26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+        40: 2.021, 50: 2.009, 60: 2.000, 80: 1.990, 100: 1.984, 120: 1.980,
+    },
+    0.99: {
+        1: 63.657, 2: 9.925, 3: 5.841, 4: 4.604, 5: 4.032, 6: 3.707,
+        7: 3.499, 8: 3.355, 9: 3.250, 10: 3.169, 11: 3.106, 12: 3.055,
+        13: 3.012, 14: 2.977, 15: 2.947, 16: 2.921, 17: 2.898, 18: 2.878,
+        19: 2.861, 20: 2.845, 21: 2.831, 22: 2.819, 23: 2.807, 24: 2.797,
+        25: 2.787, 26: 2.779, 27: 2.771, 28: 2.763, 29: 2.756, 30: 2.750,
+        40: 2.704, 50: 2.678, 60: 2.660, 80: 2.639, 100: 2.626, 120: 2.617,
+    },
+}
+
+#: Large-sample (z) limits per confidence level.
+_Z_LIMIT = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+
+CONFIDENCE_LEVELS = tuple(sorted(_T_TABLE))
+
+
+def t_critical(confidence: float, df: int) -> float:
+    """Two-sided Student-t critical value for *df* degrees of freedom.
+
+    Between table rows the value for the next *smaller* tabulated df is
+    used (a larger critical value), so interpolation error can only
+    widen the interval.
+    """
+    table = _T_TABLE.get(confidence)
+    if table is None:
+        raise ConfigError(
+            f"unsupported confidence level {confidence}; "
+            f"choose one of {CONFIDENCE_LEVELS}"
+        )
+    if df < 1:
+        raise ConfigError(f"t distribution needs df >= 1, got {df}")
+    if df in table:
+        return table[df]
+    below = [d for d in table if d < df]
+    if not below:
+        return table[1]
+    key = max(below)
+    if df > max(table):
+        return _Z_LIMIT[confidence]
+    return table[key]
+
+
+def mean_ci(values: list[float], confidence: float = 0.95,
+            weights: list[float] | None = None) -> tuple[float, float]:
+    """``(mean, halfwidth)`` of a Student-t CI on the sample mean.
+
+    With fewer than two values no interval exists; the halfwidth comes
+    back 0.0 and callers must treat it as *undefined*, not tight (the
+    estimate surfaces ``n_units`` exactly so this is detectable).
+
+    With *weights* (one non-negative weight per value) the mean and
+    variance are weighted — sampled simulation weights each unit's CPI
+    by the instruction span it prices, so a tiny drain-phase unit at
+    the end of a run cannot swing the extrapolation the way it would
+    swing an unweighted mean. Zero-weight values contribute nothing;
+    the degrees of freedom count only positively weighted values.
+    """
+    n = len(values)
+    if n == 0:
+        raise ConfigError("cannot form a confidence interval of nothing")
+    if weights is None:
+        mean = sum(values) / n
+        if n < 2:
+            return mean, 0.0
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+        half = t_critical(confidence, n - 1) * math.sqrt(var / n)
+        return mean, half
+    if len(weights) != n:
+        raise ConfigError(
+            f"{len(weights)} weights for {n} values"
+        )
+    if any(w < 0 for w in weights):
+        raise ConfigError("confidence-interval weights must be >= 0")
+    total = float(sum(weights))
+    if total <= 0.0:
+        raise ConfigError(
+            "confidence-interval weights must sum to a positive value"
+        )
+    mean = sum(w * v for w, v in zip(weights, values)) / total
+    n_pos = sum(1 for w in weights if w > 0)
+    if n_pos < 2:
+        return mean, 0.0
+    var = (sum(w * (v - mean) ** 2 for w, v in zip(weights, values))
+           / total) * n_pos / (n_pos - 1)
+    half = t_critical(confidence, n_pos - 1) * math.sqrt(var / n_pos)
+    return mean, half
+
+
+__all__ = ["CONFIDENCE_LEVELS", "mean_ci", "t_critical"]

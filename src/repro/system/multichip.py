@@ -41,6 +41,11 @@ from repro.system.topology import Coord, Topology
 #: when the caller does not pass ``domains=`` explicitly.
 PDES_ENV = "CYCLOPS_PDES"
 
+#: Sampled-simulation knob (mirrors ``repro.sampling.SAMPLE_ENV`` as a
+#: literal; the default path must not import the sampling package).
+#: ``run()`` rejects it with an explanation — see its docstring.
+SAMPLE_ENV = "CYCLOPS_SAMPLE"
+
 
 class _Message:
     """One link message at (or on its way to) a destination mailbox."""
@@ -343,7 +348,7 @@ class MultiChipSystem:
 
     # ------------------------------------------------------------------
     def run(self, until: int | None = None,
-            domains: int | None = None) -> int:
+            domains: int | None = None, sampled=None) -> int:
         """Run the whole system to quiescence.
 
         ``domains=N`` (or ``CYCLOPS_PDES=N`` in the environment) opts in
@@ -352,7 +357,29 @@ class MultiChipSystem:
         :class:`~repro.pdes.program.CellProgram` (see :meth:`build`) and
         falls back to the serial engine — recording the reason — when
         N <= 1, the partition is rejected, or the parallel run degrades.
+
+        ``sampled=`` (or ``CYCLOPS_SAMPLE`` in the environment) is
+        *rejected* here with an explanation rather than silently
+        ignored: sampled simulation (:mod:`repro.sampling`) estimates
+        cycles from an ISA instruction stream, and system workloads are
+        kernel closures with no instruction counters to sample. Pass
+        ``sampled=False`` to run exact even when the environment knob
+        is set.
         """
+        if sampled is None:
+            sampled = os.environ.get(SAMPLE_ENV) or None
+        if sampled is not None and sampled is not False:
+            from repro.sampling import resolve_config
+
+            if resolve_config(sampled) is not None:
+                raise ConfigError(
+                    "sampled simulation applies to ISA interpreter "
+                    "runs, not MultiChipSystem: system workloads are "
+                    "kernel closures without an instruction stream to "
+                    "sample. Run Interpreter.run(sampled=...) per "
+                    "chip, or unset " + SAMPLE_ENV + " / pass "
+                    "sampled=False for an exact system run."
+                )
         if domains is None:
             raw = os.environ.get(PDES_ENV, "").strip()
             if raw:

@@ -33,7 +33,8 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
 )
 from repro.telemetry.report import (RunReport, build_report,
-                                    build_system_report, chip_counters)
+                                    build_system_report, chip_counters,
+                                    publish_sampling_metrics)
 
 __all__ = [
     "ChipInstrumentation",
@@ -47,4 +48,5 @@ __all__ = [
     "build_report",
     "build_system_report",
     "chip_counters",
+    "publish_sampling_metrics",
 ]

@@ -29,6 +29,51 @@ def chip_counters(chip: Chip) -> ChipCounters:
     return counters
 
 
+def _sampling_dict(sampling, golden_cycles: int | None = None
+                   ) -> dict[str, Any]:
+    """Normalize a sampling estimate for a report's ``results`` block.
+
+    *sampling* is a :class:`~repro.sampling.SamplingEstimate` or an
+    equivalent dict (``to_dict()`` shape). With *golden_cycles* from an
+    exact run of the same workload, the measured relative error is
+    recorded alongside the statistical interval.
+    """
+    stats = dict(sampling.to_dict() if hasattr(sampling, "to_dict")
+                 else sampling)
+    if golden_cycles:
+        stats["golden_cycles"] = golden_cycles
+        stats["measured_error"] = (
+            (stats["estimated_cycles"] - golden_cycles) / golden_cycles
+        )
+    return stats
+
+
+def publish_sampling_metrics(registry, stats: dict[str, Any]) -> None:
+    """Publish ``sampling.*`` metrics from a normalized stats dict.
+
+    Mirrors what the ISA interpreter publishes to its chip's own
+    registry after a sampled run, so reports built from either side
+    carry the same metric names.
+    """
+    registry.gauge("sampling.units").set(stats.get("n_units", 0))
+    registry.gauge("sampling.estimated_cycles").set(
+        stats.get("estimated_cycles", 0))
+    registry.gauge("sampling.ci_halfwidth_cycles").set(
+        stats.get("ci_halfwidth", 0.0))
+    registry.gauge("sampling.cpi_mean").set(stats.get("cpi_mean", 0.0))
+    registry.gauge("sampling.detailed_cycles").set(
+        stats.get("detailed_cycles", 0))
+    registry.counter("sampling.warmup_insns").inc(
+        stats.get("warmup_insns", 0))
+    registry.counter("sampling.measured_insns").inc(
+        stats.get("measured_insns", 0))
+    registry.counter("sampling.fastforward_insns").inc(
+        stats.get("ff_insns", 0))
+    if "measured_error" in stats:
+        registry.gauge("sampling.measured_error").set(
+            stats["measured_error"])
+
+
 def _counters_dict(c: ThreadCounters) -> dict[str, int]:
     return {
         "instructions": c.instructions,
@@ -90,15 +135,30 @@ def build_report(chip: Chip, workload: str,
                  params: dict[str, Any] | None = None,
                  registry=None, profiler=None,
                  elapsed: int | None = None,
-                 results: dict[str, Any] | None = None) -> RunReport:
+                 results: dict[str, Any] | None = None,
+                 sampling=None,
+                 golden_cycles: int | None = None) -> RunReport:
     """Assemble a :class:`RunReport` from a finished run on *chip*.
 
     The ``aggregate`` block is taken from
     ``chip_counters(chip).aggregate()`` so the report's run/stall totals
     are the chip counters' by construction, never a re-derivation.
+
+    For a sampled run pass the interpreter's ``SamplingEstimate`` as
+    *sampling* (optionally with the exact run's *golden_cycles* to
+    record the measured error): ``elapsed_cycles`` becomes the
+    estimate, the normalized stats land in ``results["sampling"]``,
+    and ``sampling.*`` metrics are published to *registry*.
     """
     from repro.analysis.utilization import chip_elapsed, utilization
 
+    sampling_stats = None
+    if sampling is not None:
+        sampling_stats = _sampling_dict(sampling, golden_cycles)
+        if elapsed is None:
+            # Counters only accrued cycles in the detailed windows;
+            # the estimate is the run's cycle count.
+            elapsed = sampling_stats["estimated_cycles"]
     if elapsed is None:
         elapsed = chip_elapsed(chip)
     aggregate = chip_counters(chip).aggregate()
@@ -135,6 +195,10 @@ def build_report(chip: Chip, workload: str,
         },
         results=dict(results or {}),
     )
+    if sampling_stats is not None:
+        report.results["sampling"] = sampling_stats
+        if registry is not None and registry.enabled:
+            publish_sampling_metrics(registry, sampling_stats)
     if registry is not None and registry.enabled:
         report.metrics = registry.snapshot()
     if profiler is not None:
@@ -151,7 +215,13 @@ def build_system_report(system, workload: str,
     ``"chip:tid"``), and when the run executed under :mod:`repro.pdes`
     the per-domain synchronization totals land in the registry as
     ``pdes.*`` counters — so a parallel run and its serial twin produce
-    the same report apart from that block.
+    the same report apart from that block. A harness that drove
+    per-chip ISA interpreters under sampled simulation can likewise
+    attach a normalized estimate dict as ``system.sampling_stats``; a
+    non-empty one is published as ``sampling.*`` metrics and recorded
+    in ``results["sampling"]`` (empty or absent stats leave the report
+    untouched — :class:`~repro.system.multichip.MultiChipSystem` itself
+    never samples).
     """
     from repro.telemetry.metrics import MetricsRegistry
 
@@ -180,6 +250,9 @@ def build_system_report(system, workload: str,
             registry.counter(
                 "pdes.blocked_time", domain=domain
             ).inc(dstats["blocked_seconds"])
+    sampling_stats = getattr(system, "sampling_stats", None)
+    if sampling_stats:
+        publish_sampling_metrics(registry, sampling_stats)
     cfg = system.config
     report = RunReport(
         workload=workload,
@@ -196,10 +269,12 @@ def build_system_report(system, workload: str,
         threads=threads,
         results={"link_bytes": system.fabric.total_bytes},
     )
+    if sampling_stats:
+        report.results["sampling"] = dict(sampling_stats)
     if registry.enabled:
         report.metrics = registry.snapshot()
     return report
 
 
 __all__ = ["RunReport", "build_report", "build_system_report",
-           "chip_counters"]
+           "chip_counters", "publish_sampling_metrics"]

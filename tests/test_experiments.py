@@ -58,6 +58,16 @@ class TestQuickRuns:
         report = get_experiment("fig7")(quick=True)
         assert len(report.tables) == 2
 
+    def test_sampling(self):
+        report = get_experiment("sampling")(quick=True)
+        m = report.measurements
+        assert abs(m["worst_error_pct"]) <= 2.0
+        assert m["stream_state_matches"] == 1.0
+        assert m["fft_state_matches"] == 1.0
+        assert m["stream_speedup"] > 1.0
+        assert not any(n.startswith(("TOLERANCE", "STATE"))
+                       for n in report.notes)
+
     def test_render_is_text(self):
         report = get_experiment("table1")(quick=True)
         text = report.render()
@@ -90,6 +100,35 @@ class TestRunnerCli:
     def test_bad_worker_count_exits_2(self, capsys):
         assert main(["run", "table2", "-j", "0"]) == 2
         assert "-j must be >= 1" in capsys.readouterr().err
+
+    def test_sampled_flag_rejects_jobs_and_serve(self, capsys):
+        assert main(["run", "table2", "--sampled", "-j", "2"]) == 2
+        assert "--sampled requires serial" in capsys.readouterr().err
+        assert main(["run", "table2", "--sampled",
+                     "--serve", "http://127.0.0.1:1"]) == 2
+        assert "--sampled" in capsys.readouterr().err
+
+    def test_sampled_flag_sets_and_restores_env(self, capsys, monkeypatch):
+        import os
+
+        from repro.experiments import registry, runner
+        from repro.experiments.registry import ExperimentReport
+
+        seen = {}
+
+        def probe(quick=False):
+            seen["env"] = os.environ.get("CYCLOPS_SAMPLE")
+            return ExperimentReport(experiment_id="probe", title="p",
+                                    paper="p")
+
+        fake = {"probe": probe}
+        monkeypatch.setattr(registry, "REGISTRY", fake)
+        monkeypatch.setattr(runner, "REGISTRY", fake)
+        monkeypatch.delenv("CYCLOPS_SAMPLE", raising=False)
+        assert main(["run", "probe", "--sampled", "period=16384"]) == 0
+        capsys.readouterr()
+        assert seen["env"] == "period=16384"
+        assert "CYCLOPS_SAMPLE" not in os.environ
 
     def test_run_all_reports_failures_at_end(self, capsys, monkeypatch):
         """One broken driver no longer aborts the whole batch."""

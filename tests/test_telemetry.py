@@ -479,3 +479,122 @@ class TestExperimentsJson:
         assert entry["experiment_id"] == "table2"
         assert entry["quick"] is True
         assert isinstance(entry["measurements"], dict)
+
+
+# ---------------------------------------------------------------------------
+# System reports: pdes/sampling blocks and partially-idle chips
+# ---------------------------------------------------------------------------
+class TestSystemReport:
+    def _system(self, n_chips: int = 2):
+        from repro.system.multichip import MultiChipSystem
+        from repro.system.topology import Topology
+
+        return MultiChipSystem(Topology(n_chips, 1, 1))
+
+    def test_no_pdes_stats_builds_clean_report(self):
+        from repro.telemetry.report import build_system_report
+
+        system = self._system()
+        assert getattr(system, "pdes_stats", None) is None
+        report = build_system_report(system, "idle")
+        assert report.workload == "idle"
+        assert "sampling" not in report.results
+        assert not any(k.startswith("pdes.")
+                       for k in report.metrics.get("counters", {}))
+
+    def test_empty_sampling_stats_leave_report_untouched(self):
+        from repro.telemetry.report import build_system_report
+
+        system = self._system()
+        system.sampling_stats = {}
+        report = build_system_report(system, "idle")
+        assert "sampling" not in report.results
+        assert "sampling.units" not in report.metrics.get("gauges", {})
+
+    def test_populated_sampling_stats_publish_metrics(self):
+        from repro.telemetry.report import build_system_report
+
+        system = self._system()
+        system.sampling_stats = {
+            "n_units": 3, "estimated_cycles": 9000, "ci_halfwidth": 120.0,
+            "cpi_mean": 0.25, "detailed_cycles": 2000,
+            "warmup_insns": 512, "measured_insns": 256, "ff_insns": 7000,
+            "measured_error": -0.004,
+        }
+        report = build_system_report(system, "sampled-harness")
+        assert report.results["sampling"]["estimated_cycles"] == 9000
+        gauges = report.metrics["gauges"]
+        assert gauges["sampling.units"] == 3
+        assert gauges["sampling.measured_error"] == pytest.approx(-0.004)
+        counters = report.metrics["counters"]
+        assert counters["sampling.fastforward_insns"] == 7000
+
+    def test_mixed_chips_with_and_without_harvested_counters(self):
+        from repro.telemetry.report import build_system_report
+
+        system = self._system(n_chips=2)
+        tu = system.chips[0].threads[0]
+        tu.counters.instructions = 7
+        tu.counters.run_cycles = 3
+        report = build_system_report(system, "mixed")
+        # Only the chip that actually ran contributes thread rows, keyed
+        # chip:tid; the idle chip's all-zero threads are skipped.
+        assert set(report.threads) == {"0:0"}
+        assert report.aggregate["instructions"] == 7
+        assert report.aggregate["run_cycles"] == 3
+
+
+# ---------------------------------------------------------------------------
+# Chip reports for sampled runs
+# ---------------------------------------------------------------------------
+class TestSampledChipReport:
+    def _sampled_interp(self):
+        from repro.isa import Interpreter
+        from repro.isa.kernels import (stream_kernel_program,
+                                       stream_register_setup)
+        from repro.memory.address import make_effective
+        from repro.memory.interest_groups import IG_ALL
+        from repro.sampling import SamplingConfig
+
+        chip = Chip()
+        interp = Interpreter(chip, model_fetch=False)
+        program = stream_kernel_program("triad", 1)
+        n = 600
+        for t in range(4):
+            src, src2, dst = (0x10000 + t * 0x4000, 0x100000 + t * 0x4000,
+                              0x200000 + t * 0x4000)
+            chip.memory.backing.f64_view(src, n)[:] = 1.0
+            chip.memory.backing.f64_view(src2, n)[:] = 3.0
+            regs, doubles = stream_register_setup(
+                "triad", make_effective(src, IG_ALL),
+                make_effective(src2, IG_ALL), make_effective(dst, IG_ALL),
+                n)
+            interp.add_thread(t, program, regs, doubles)
+        config = SamplingConfig(warmup_insns=64, measure_insns=64,
+                                period_insns=512, chunk_insns=256)
+        return chip, interp, interp.run_sampled(config)
+
+    def test_build_report_records_estimate_and_measured_error(self):
+        from repro.telemetry.report import build_report
+
+        chip, interp, estimate = self._sampled_interp()
+        registry = MetricsRegistry()
+        report = build_report(chip, "stream-sampled", registry=registry,
+                              sampling=estimate, golden_cycles=10000)
+        assert report.elapsed_cycles == estimate.estimated_cycles
+        stats = report.results["sampling"]
+        assert stats["golden_cycles"] == 10000
+        assert stats["measured_error"] == pytest.approx(
+            (estimate.estimated_cycles - 10000) / 10000)
+        assert report.metrics["gauges"]["sampling.estimated_cycles"] \
+            == estimate.estimated_cycles
+
+    def test_build_report_without_golden_has_no_measured_error(self):
+        from repro.telemetry.report import build_report
+
+        chip, interp, estimate = self._sampled_interp()
+        report = build_report(chip, "stream-sampled", sampling=estimate)
+        stats = report.results["sampling"]
+        assert "measured_error" not in stats
+        assert "golden_cycles" not in stats
+        assert stats["n_units"] == estimate.n_units
