@@ -84,6 +84,10 @@ class JobError(CyclopsError):
     """A simulation job failed: bad spec, crashed worker, timeout, ..."""
 
 
+class ExploreError(CyclopsError):
+    """An invalid :class:`~repro.explore.ChipSpec` or sweep grid."""
+
+
 class ServeError(CyclopsError):
     """A serving-layer failure: bad request, rejected submission, protocol."""
 

@@ -21,6 +21,8 @@ from repro.experiments.registry import (
 
 # Importing the driver modules populates the registry.
 from repro.experiments import (  # noqa: E402,F401
+    bandwidth,
+    contention,
     family_sweep,
     instruction_mix,
     fig3_splash_speedups,
@@ -29,6 +31,7 @@ from repro.experiments import (  # noqa: E402,F401
     fig6_origin_compare,
     fig7_barriers,
     sampling_validation,
+    saturation,
     table1_interest_groups,
     table2_latencies,
 )

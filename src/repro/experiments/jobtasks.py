@@ -3,7 +3,8 @@
 These are the functions :mod:`repro.jobs` workers resolve by name. The
 whole-experiment task is the coarse unit the CLI runner fans out for
 drivers that cannot decompose further; the decomposable drivers
-(``fig3``, ``family``) expose their own per-simulation-point tasks and
+(``fig3``, ``family``, and the exploration families) expose their own
+per-simulation-point tasks and
 are listed in :data:`FANOUT_EXPERIMENTS` so the runner calls them in
 the orchestrating process instead, letting their points fill the pool.
 """
@@ -15,7 +16,9 @@ from repro.jobs.spec import JobSpec, jsonify
 #: Experiment ids whose drivers fan out their own simulation points
 #: (they accept a ``runner=`` keyword). Running these as one opaque job
 #: would serialize their inner sweep onto a single worker.
-FANOUT_EXPERIMENTS = frozenset({"fig3", "family"})
+FANOUT_EXPERIMENTS = frozenset(
+    {"fig3", "family", "saturation", "bandwidth", "contention"}
+)
 
 #: Task reference for :func:`run_experiment`.
 RUN_EXPERIMENT_TASK = "repro.experiments.jobtasks:run_experiment"

@@ -15,8 +15,9 @@ server owns pooling, result caching, and admission control, and this
 process only renders what comes back — including warm-cache results
 that never re-simulate. With ``-j N`` the experiments run through
 :mod:`repro.jobs`: whole
-experiments become jobs (and the decomposable sweeps — fig3, family —
-fan out their individual simulation points), results are cached by
+experiments become jobs (and the decomposable sweeps — fig3, family,
+saturation, bandwidth, contention — fan out their individual
+simulation points), results are cached by
 content so a re-run only simulates what changed, and a crashing or
 hanging experiment no longer takes ``run all`` down with it. Failures
 are collected and reported at the end; the exit code is 0 on success,

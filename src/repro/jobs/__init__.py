@@ -17,7 +17,8 @@ result by content, and survives crashing or hanging workers.
 * ``python -m repro.jobs`` — ``submit`` / ``status`` / ``cache`` CLI.
 
 The consumers: ``python -m repro.experiments run all --quick -j 4``
-fans experiments (and the fig3/family simulation points inside them)
+fans experiments (and the simulation points inside the decomposable
+sweeps — fig3, family, and the exploration families)
 across workers; a warm rerun is served from the cache. See
 ``docs/orchestration.md``.
 """

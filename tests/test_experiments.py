@@ -15,10 +15,24 @@ class TestRegistry:
             "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
         }
         assert "family" in REGISTRY  # the extension sweep
+        # The exploration families (docs/exploration.md).
+        assert {"saturation", "bandwidth", "contention"} <= set(REGISTRY)
 
     def test_unknown_experiment(self):
         with pytest.raises(CyclopsError):
             get_experiment("fig99")
+
+    def test_experiments_md_catalog_matches_registry(self):
+        """EXPERIMENTS.md's catalog lists exactly the registered ids."""
+        import pathlib
+        import re
+
+        text = pathlib.Path(__file__).parent.parent.joinpath(
+            "EXPERIMENTS.md").read_text(encoding="utf-8")
+        catalog = text.split("## Experiment catalog", 1)[1].split("\n## ", 1)[0]
+        listed = set(re.findall(r"^\| `([a-z0-9]+)` \|", catalog,
+                                flags=re.MULTILINE))
+        assert listed == set(REGISTRY)
 
 
 class TestQuickRuns:
